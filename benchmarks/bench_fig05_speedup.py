@@ -1,0 +1,36 @@
+"""Figure 5: full-cube wall clock and relative speedup vs processor count,
+for two input sizes (the paper's n = 1M and n = 2M)."""
+
+from conftest import record
+
+from repro.bench.experiments import fig5_speedup
+from repro.bench.reporting import format_series_table
+
+
+def test_fig5_speedup(benchmark, scale, results_dir):
+    title, series, notes = benchmark.pedantic(
+        fig5_speedup, args=(scale,), rounds=1, iterations=1
+    )
+    text = format_series_table(title, series) + f"\n  note: {notes}"
+    record(results_dir, "fig05_speedup", text)
+
+    small, large = series
+    max_p = max(scale.processors)
+
+    def at(s, p):
+        return next(pt for pt in s.points if pt.x == p)
+
+    # Shape 1: speedup grows with p for both sizes.
+    for s in series:
+        assert at(s, max_p).speedup > at(s, min(scale.processors)).speedup
+
+    # Shape 2: the larger input achieves at least the smaller one's speedup
+    # at full machine size (communication amortises better).
+    assert at(large, max_p).speedup >= at(small, max_p).speedup * 0.9
+
+    # Shape 3: meaningful parallel efficiency at full size (paper: close to
+    # optimal; reduced scale stays well above half of linear at p=8).
+    if 8 in scale.processors:
+        assert at(large, 8).speedup > 4.0
+
+    benchmark.extra_info["speedup_at_max_p"] = at(large, max_p).speedup

@@ -1,0 +1,35 @@
+"""Figure 6: partial-cube construction at 25/50/75/100% selected views."""
+
+from conftest import record
+
+from repro.bench.experiments import fig6_partial
+from repro.bench.reporting import format_series_table
+
+
+def test_fig6_partial(benchmark, scale, results_dir):
+    title, series, notes = benchmark.pedantic(
+        fig6_partial, args=(scale,), rounds=1, iterations=1
+    )
+    text = format_series_table(title, series) + f"\n  note: {notes}"
+    record(results_dir, "fig06_partial", text)
+
+    max_p = max(scale.processors)
+    by_label = {s.label: s for s in series}
+
+    def speed(label, p=max_p):
+        return next(pt for pt in by_label[label].points if pt.x == p).speedup
+
+    def secs(label, p=max_p):
+        return next(pt for pt in by_label[label].points if pt.x == p).seconds
+
+    # Shape 1: fewer selected views -> less absolute work.
+    assert secs("25% selected") < secs("100% selected")
+
+    # Shape 2: everything still parallelises (speedup > 1 at full size).
+    for label in by_label:
+        assert speed(label) > 1.0
+
+    # Shape 3: the full cube's speedup is not beaten decisively by sparse
+    # selections (the paper: speedup decreases somewhat as fewer views are
+    # selected because per-partition local work shrinks).
+    assert speed("100% selected") >= speed("25% selected") * 0.8

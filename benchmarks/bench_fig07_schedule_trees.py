@@ -1,0 +1,28 @@
+"""Figure 7: global vs local schedule trees."""
+
+from conftest import record
+
+from repro.bench.experiments import fig7_schedule_trees
+from repro.bench.reporting import format_series_table
+
+
+def test_fig7_schedule_trees(benchmark, scale, results_dir):
+    title, series, notes = benchmark.pedantic(
+        fig7_schedule_trees, args=(scale,), rounds=1, iterations=1
+    )
+    text = format_series_table(title, series) + f"\n  note: {notes}"
+    record(results_dir, "fig07_schedule_trees", text)
+
+    global_s, local_s = series
+    max_p = max(scale.processors)
+
+    def at(s, p):
+        return next(pt for pt in s.points if pt.x == p)
+
+    # The paper's conclusion: the global tree is faster once several ranks
+    # must merge (local trees pay per-view re-sorts into a common order).
+    if max_p >= 4:
+        assert at(global_s, max_p).seconds <= at(local_s, max_p).seconds
+    benchmark.extra_info["local_over_global"] = (
+        at(local_s, max_p).seconds / at(global_s, max_p).seconds
+    )

@@ -1,0 +1,35 @@
+"""Figure 8: effect of Zipf skew on wall clock and communicated bytes."""
+
+from conftest import record
+
+from repro.bench.experiments import fig8_skew
+from repro.bench.reporting import format_series_table
+
+
+def test_fig8_skew(benchmark, scale, results_dir):
+    title, series, notes = benchmark.pedantic(
+        fig8_skew, args=(scale,), rounds=1, iterations=1
+    )
+    text = format_series_table(
+        title, series, show_speedup=False, show_comm=True
+    ) + f"\n  note: {notes}"
+    record(results_dir, "fig08_skew", text)
+
+    (s,) = series
+    by_alpha = {pt.x: pt for pt in s.points}
+
+    # Shape 1: the communication spike sits at moderate skew and collapses
+    # for high skew (paper: sharp rise at alpha=1, tiny beyond).
+    peak_alpha = max(by_alpha, key=lambda a: by_alpha[a].comm_mb)
+    assert 0.5 <= peak_alpha <= 1.5
+    assert by_alpha[3.0].comm_mb < by_alpha[peak_alpha].comm_mb
+
+    # Shape 2: high skew ends up at least as fast as no skew (data
+    # reduction shrinks local computation).
+    assert by_alpha[3.0].seconds <= by_alpha[0.0].seconds * 1.1
+
+    # Shape 3: data reduction is real — output shrinks with skew.
+    assert (
+        by_alpha[3.0].extra["output_rows"]
+        < by_alpha[0.0].extra["output_rows"]
+    )

@@ -1,0 +1,37 @@
+"""Figure 10: wall clock vs data dimensionality (output grows ~2^d)."""
+
+import numpy as np
+from conftest import record
+
+from repro.bench.experiments import fig10_dimensionality
+from repro.bench.reporting import format_series_table
+
+
+def test_fig10_dimensionality(benchmark, scale, results_dir):
+    title, series, notes = benchmark.pedantic(
+        fig10_dimensionality, args=(scale,), rounds=1, iterations=1
+    )
+    text = format_series_table(
+        title, series, show_speedup=False, show_comm=True
+    ) + f"\n  note: {notes}"
+    record(results_dir, "fig10_dimensionality", text)
+
+    (s,) = series
+    by_d = {pt.x: pt for pt in s.points}
+
+    # Shape 1: time grows monotonically with d.
+    times = [by_d[d].seconds for d in sorted(by_d)]
+    assert all(b > a for a, b in zip(times, times[1:]))
+
+    # Shape 2: output size grows super-linearly with d (the 2^d views).
+    rows = [by_d[d].extra["output_rows"] for d in sorted(by_d)]
+    assert rows[-1] > rows[0] * 4
+
+    # Shape 3: the paper's claim — time is essentially *linear in the
+    # output size* despite the exponential view count.  Check the
+    # correlation of time against output rows is strong and the fit is
+    # close to proportional.
+    t = np.array(times)
+    r = np.array(rows, dtype=float)
+    corr = np.corrcoef(t, r)[0, 1]
+    assert corr > 0.98

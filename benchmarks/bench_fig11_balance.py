@@ -1,0 +1,29 @@
+"""Figure 11: the balance-threshold (gamma) tradeoff."""
+
+from conftest import record
+
+from repro.bench.experiments import fig11_balance
+from repro.bench.reporting import format_series_table
+
+
+def test_fig11_balance(benchmark, scale, results_dir):
+    title, series, notes = benchmark.pedantic(
+        fig11_balance, args=(scale,), rounds=1, iterations=1
+    )
+    text = format_series_table(title, series) + f"\n  note: {notes}"
+    record(results_dir, "fig11_balance", text)
+
+    max_p = max(scale.processors)
+    finals = {
+        s.label: next(pt for pt in s.points if pt.x == max_p).seconds
+        for s in series
+    }
+
+    # The paper's conclusion: the threshold matters little — all three
+    # curves sit close together (tighter balance costs a bit more).
+    lo, hi = min(finals.values()), max(finals.values())
+    assert hi / lo < 1.35, finals
+
+    # And parallelism survives every setting.
+    for s in series:
+        assert next(pt for pt in s.points if pt.x == max_p).speedup > 1.0

@@ -1,0 +1,22 @@
+"""The abstract's headline claims, at reproduction scale."""
+
+from conftest import record
+
+from repro.bench.experiments import headline
+from repro.bench.reporting import format_kv_block
+
+
+def test_headline(benchmark, scale, results_dir):
+    title, pairs, notes = benchmark.pedantic(
+        headline, args=(scale,), rounds=1, iterations=1
+    )
+    text = format_kv_block(title, pairs) + f"\n  note: {notes}"
+    record(results_dir, "headline", text)
+
+    values = dict(pairs)
+    speedup = float(values["relative speedup"])
+    # "close to optimal speedup" at the paper's full scale; at reduced
+    # scale the same algorithm must stay clearly super-sequential.
+    assert speedup > 3.0
+    out_ratio = float(values["output/input ratio (paper: ~113x at n=2M)"][:-1])
+    assert out_ratio > 10.0  # the cube is much larger than its input

@@ -1,0 +1,97 @@
+"""Beyond the paper: what the γ balance contract buys at query time.
+
+The paper motivates balancing every view across processors with
+"maximum I/O bandwidth for subsequent parallel disk accesses".  This
+bench builds two cubes from skewed data — the paper's adaptive merge vs
+``merge_policy="never_resort"`` (ownership routing only, no re-balancing)
+— and compares (a) the stored per-rank distribution of the views the
+adaptive rule chose to re-sort and (b) parallel group-by latency over
+them.  Also records the Section 4.1 overlap estimate for the standard
+build (the paper claims 40-60% of communication overhead is maskable).
+"""
+
+import numpy as np
+from conftest import record
+
+from repro.bench.harness import dataset_for
+from repro.bench.reporting import format_kv_block
+from repro.config import CubeConfig, MachineSpec
+from repro.core.cube import build_data_cube
+from repro.core.overlap import analyze_overlap
+from repro.data.generator import paper_preset
+from repro.olap import Query, QueryEngine
+
+
+def _imbalance(cube, view) -> float:
+    dist = cube.distribution(view).astype(float)
+    return float(dist.max() / max(dist.mean(), 1e-9))
+
+
+def test_query_latency_vs_balance(benchmark, scale, results_dir):
+    def run():
+        spec = paper_preset(scale.n_base, alpha=1.5, seed=99)
+        data = dataset_for(spec)
+        p = max(scale.processors)
+        machine = MachineSpec(p=p)
+        balanced = build_data_cube(data, spec.cardinalities, machine)
+        loose = build_data_cube(
+            data, spec.cardinalities, machine,
+            CubeConfig(merge_policy="never_resort"),
+        )
+        # the views the adaptive rule re-sorted, largest first
+        resorted = [
+            v
+            for rep in balanced.merge_reports
+            for v, case in rep.cases.items()
+            if case == "case3"
+        ]
+        resorted.sort(key=balanced.view_rows, reverse=True)
+        probe = resorted[:4]
+        imb_balanced = [_imbalance(balanced, v) for v in probe]
+        imb_loose = [_imbalance(loose, v) for v in probe]
+        t_bal = t_loose = 0.0
+        for view in probe:
+            q = Query(group_by=view)
+            r1, s1 = QueryEngine(balanced).answer_parallel(q)
+            r2, s2 = QueryEngine(loose).answer_parallel(q)
+            assert r1.same_content(r2)  # same answers, different layout
+            t_bal += s1
+            t_loose += s2
+        overlap = analyze_overlap(balanced)
+        return imb_balanced, imb_loose, t_bal, t_loose, overlap
+
+    imb_balanced, imb_loose, t_bal, t_loose, overlap = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    pairs = [
+        (
+            "re-sorted views, balanced cube max/mean",
+            " ".join(f"{x:.2f}" for x in imb_balanced),
+        ),
+        (
+            "same views, never-resort cube max/mean",
+            " ".join(f"{x:.2f}" for x in imb_loose),
+        ),
+        ("balanced cube query latency", f"{t_bal * 1e3:.1f} ms"),
+        ("never-resort cube query latency", f"{t_loose * 1e3:.1f} ms"),
+        ("overlap: merge comm maskable", f"{overlap.masked_fraction:.0%}"),
+        ("overlap: build-time gain", f"{overlap.speedup_gain():.2f}x"),
+    ]
+    record(
+        results_dir,
+        "query_latency",
+        format_kv_block(
+            "Query latency vs view balance (+ Section 4.1 overlap estimate)",
+            pairs,
+        ),
+    )
+
+    # The γ contract: every re-sorted view is near-even in the balanced
+    # cube and (on skewed data) clearly lopsided without re-sorting.
+    assert max(imb_balanced) < 1.2
+    assert np.mean(imb_loose) > np.mean(imb_balanced) * 1.3
+    # End-to-end latency must not regress (it improves once view scans
+    # dominate the fixed collective latency, i.e. at larger REPRO_BENCH_N).
+    assert t_bal <= t_loose * 1.1
+    # The paper's 40-60% masking estimate should be within reach.
+    assert overlap.masked_fraction > 0.2

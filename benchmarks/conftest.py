@@ -1,0 +1,34 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Each benchmark runs one full experiment (a parameter sweep of cube
+builds), records the paper-style table under ``benchmarks/results/`` and
+asserts the *shape* conclusions of the corresponding figure.  Scale knobs:
+``REPRO_BENCH_N`` (rows standing in for the paper's 1M, default 25,000)
+and ``REPRO_BENCH_MAXP`` (largest processor count, default 16).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.harness import scale_from_env
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return scale_from_env()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def record(results_dir: pathlib.Path, name: str, text: str) -> None:
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)

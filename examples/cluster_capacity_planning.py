@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Capacity planning: how many nodes, and how tight a balance threshold?
+
+Uses the simulator's cost model to answer the two operational questions
+the paper's evaluation raises: where does adding nodes stop paying
+(Figure 5), and what does tightening the balance threshold γ cost
+(Figure 11)?  Point the generator at your own data profile by editing the
+dataset spec.
+
+Run with::
+
+    python examples/cluster_capacity_planning.py
+"""
+
+from repro import CubeConfig, MachineSpec, build_data_cube, generate_dataset
+from repro.baselines.sequential import sequential_cube
+from repro.data.generator import DatasetSpec
+
+
+def main() -> None:
+    # Your warehouse's profile: row volume, cardinalities, skew.
+    profile = DatasetSpec(
+        n=30_000,
+        cardinalities=(128, 64, 32, 16, 8, 4),
+        alphas=(1.0, 0.5, 0.0, 0.0, 0.5, 0.0),
+        seed=7,
+    )
+    data = generate_dataset(profile)
+    seq = sequential_cube(data, profile.cardinalities)
+    print(
+        f"profile: n={profile.n:,}, d={profile.d}, sequential build "
+        f"{seq.metrics.simulated_seconds:.1f}s (simulated)"
+    )
+
+    # Sweep the cluster size: keep growing while each step still buys a
+    # >= 20% time reduction.
+    print("\ncluster-size sweep:")
+    print("  p   time[s]  speedup  efficiency  comm[MB]")
+    best_p, prev = 1, None
+    for p in (1, 2, 4, 8, 12, 16, 24, 32):
+        cube = build_data_cube(data, profile.cardinalities, MachineSpec(p=p))
+        t = cube.metrics.simulated_seconds
+        speedup = seq.metrics.simulated_seconds / t
+        eff = speedup / p
+        print(
+            f"  {p:2d}  {t:7.1f}  {speedup:7.2f}  {eff:10.1%}"
+            f"  {cube.metrics.comm_bytes / 1e6:8.1f}"
+        )
+        if prev is None or t <= prev * 0.8:
+            best_p = p
+        prev = t
+    print(f"  -> diminishing returns past p={best_p}")
+
+    # Sweep the balance threshold at the chosen size.
+    print("\nbalance-threshold sweep (gamma, at p=%d):" % best_p)
+    print("  gamma  time[s]  case2  case3  worst view imbalance")
+    for gamma in (0.01, 0.03, 0.05, 0.10, 0.25):
+        cube = build_data_cube(
+            data,
+            profile.cardinalities,
+            MachineSpec(p=best_p),
+            CubeConfig(gamma_merge=gamma),
+        )
+        case2 = sum(r.count("case2") for r in cube.merge_reports)
+        case3 = sum(r.count("case3") for r in cube.merge_reports)
+        # balance matters where the I/O is: check the ten largest views
+        big = sorted(cube.views, key=cube.view_rows, reverse=True)[:10]
+        worst = max(
+            cube.distribution(v).max()
+            / max(cube.distribution(v).mean(), 1e-9)
+            for v in big
+        )
+        print(
+            f"  {gamma:5.0%}  {cube.metrics.simulated_seconds:7.1f}"
+            f"  {case2:5d}  {case3:5d}  {worst - 1:18.1%} over even"
+        )
+    print(
+        "\nreading: gamma bounds the pre-merge row imbalance of each "
+        "view; smaller gamma re-sorts more views (case 3) and tightens "
+        "the distribution of the large views at a small time premium.  "
+        "The paper recommends 3% as the sweet spot."
+    )
+
+
+if __name__ == "__main__":
+    main()

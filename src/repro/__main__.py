@@ -1,0 +1,198 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro build  --rows 20000 --p 8 --out ./cube.d
+    python -m repro info   ./cube.d
+    python -m repro query  ./cube.d --group-by 0,1 --filter 2=0:3
+    python -m repro demo
+
+``build`` generates a synthetic data set (the paper's parameter presets)
+and constructs its cube on the simulated cluster; ``query`` serves
+group-bys from a stored cube; ``info`` prints a stored cube's inventory.
+For the paper-figure experiments use ``python -m repro.bench``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _parse_view(text: str) -> tuple[int, ...]:
+    text = text.strip()
+    if not text or text.lower() == "all":
+        return ()
+    return tuple(int(part) for part in text.split(","))
+
+
+def _parse_filter(text: str) -> tuple[int, tuple[int, int]]:
+    """``dim=lo:hi`` or ``dim=value``."""
+    dim_part, _, range_part = text.partition("=")
+    if not range_part:
+        raise argparse.ArgumentTypeError(
+            f"filter {text!r} must look like DIM=LO:HI or DIM=VALUE"
+        )
+    lo, _, hi = range_part.partition(":")
+    return int(dim_part), (int(lo), int(hi or lo))
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    from repro import CubeConfig, MachineSpec, build_data_cube, generate_dataset, paper_preset
+    from repro.olap import CubeStore
+
+    if args.from_csv:
+        from repro.storage.relio import read_csv
+
+        if not args.dimensions or not args.measure:
+            print("--from-csv needs --dimensions and --measure")
+            return 2
+        ds = read_csv(
+            args.from_csv, args.dimensions.split(","), args.measure
+        )
+        data, cards = ds.relation, ds.cardinalities
+        print(
+            f"loaded {data.nrows:,} rows from {args.from_csv}; dimensions "
+            f"{ds.names} (cardinalities {cards})"
+        )
+    else:
+        spec = paper_preset(
+            args.rows, alpha=args.alpha, mix=args.mix, seed=args.seed,
+            d=args.dims,
+        )
+        data = generate_dataset(spec)
+        cards = spec.cardinalities
+        print(
+            f"generated {data.nrows:,} rows x {data.width} dims "
+            f"(cardinalities {cards}, alpha {args.alpha})"
+        )
+    cube = build_data_cube(
+        data,
+        cards,
+        MachineSpec(p=args.p),
+        CubeConfig(agg=args.agg),
+        selected=None,
+    )
+    print(cube.describe())
+    if args.out:
+        CubeStore.save(cube, args.out)
+        print(f"stored at {args.out}")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from repro.core.views import view_name
+    from repro.olap import CubeStore
+
+    cube = CubeStore.load(args.path)
+    print(
+        f"cube at {args.path}: {cube.view_count} views, "
+        f"{cube.total_rows():,} rows, p={len(cube.rank_views)}, "
+        f"agg={cube.agg}, cardinalities={cube.cardinalities}"
+    )
+    if args.views:
+        for view in cube.views:
+            dist = cube.distribution(view)
+            print(
+                f"  {view_name(view):12s} {cube.view_rows(view):10,} rows"
+                f"  (per-rank max/mean "
+                f"{dist.max() / max(dist.mean(), 1e-9):.2f})"
+            )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from repro.olap import CubeStore, Query, QueryEngine
+
+    cube = CubeStore.load(args.path)
+    engine = QueryEngine(cube)
+    query = Query(
+        group_by=_parse_view(args.group_by),
+        filters=dict(args.filter or []),
+    )
+    plan = engine.explain(query)
+    print(f"plan: {plan.describe()}")
+    if args.parallel:
+        result, latency = engine.answer_parallel(query)
+        print(f"parallel latency: {latency * 1e3:.2f} ms (simulated)")
+    else:
+        result = engine.answer(query)
+    limit = args.limit
+    order = np.argsort(-result.measure)[:limit]
+    for row_idx in order:
+        key = ",".join(str(v) for v in result.dims[row_idx])
+        print(f"  ({key})  {result.measure[row_idx]:,.3f}")
+    if result.nrows > limit:
+        print(f"  ... {result.nrows - limit} more groups")
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro import MachineSpec, build_data_cube, generate_dataset, paper_preset
+
+    spec = paper_preset(10_000, seed=1)
+    data = generate_dataset(spec)
+    cube = build_data_cube(data, spec.cardinalities, MachineSpec(p=args.p))
+    print(cube.describe())
+    print("phase breakdown:")
+    for phase, secs in sorted(cube.metrics.phase_seconds.items()):
+        if secs > 0.01:
+            print(f"  {phase:20s} {secs:7.2f} s")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel ROLAP data cube construction (IPDPS 2003 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="generate data and build a cube")
+    p_build.add_argument("--rows", type=int, default=20_000)
+    p_build.add_argument("--p", type=int, default=8, help="virtual processors")
+    p_build.add_argument("--alpha", type=float, default=0.0, help="Zipf skew")
+    p_build.add_argument("--mix", default="B", choices="ABCD")
+    p_build.add_argument("--dims", type=int, default=None)
+    p_build.add_argument("--agg", default="sum",
+                         choices=("sum", "count", "min", "max"))
+    p_build.add_argument("--seed", type=int, default=0xC0FFEE)
+    p_build.add_argument("--out", default=None, help="store directory")
+    p_build.add_argument("--from-csv", default=None,
+                         help="build from a CSV fact table instead of "
+                              "synthetic data")
+    p_build.add_argument("--dimensions", default=None,
+                         help="comma-separated dimension columns "
+                              "(with --from-csv)")
+    p_build.add_argument("--measure", default=None,
+                         help="measure column (with --from-csv)")
+    p_build.set_defaults(fn=cmd_build)
+
+    p_info = sub.add_parser("info", help="describe a stored cube")
+    p_info.add_argument("path")
+    p_info.add_argument("--views", action="store_true",
+                        help="list every view with its distribution")
+    p_info.set_defaults(fn=cmd_info)
+
+    p_query = sub.add_parser("query", help="group-by query over a stored cube")
+    p_query.add_argument("path")
+    p_query.add_argument("--group-by", default="", help="e.g. 0,2 (empty = ALL)")
+    p_query.add_argument("--filter", type=_parse_filter, action="append",
+                         help="DIM=LO:HI, repeatable")
+    p_query.add_argument("--parallel", action="store_true",
+                         help="execute across the virtual cluster")
+    p_query.add_argument("--limit", type=int, default=10)
+    p_query.set_defaults(fn=cmd_query)
+
+    p_demo = sub.add_parser("demo", help="tiny end-to-end demonstration")
+    p_demo.add_argument("--p", type=int, default=8)
+    p_demo.set_defaults(fn=cmd_demo)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

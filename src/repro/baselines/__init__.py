@@ -1,0 +1,29 @@
+"""Baselines and ablation comparators.
+
+* :mod:`repro.baselines.reference` — brute-force per-view group-by; the
+  ground truth every other implementation is tested against.
+* :mod:`repro.baselines.sequential` — the paper's sequential comparator:
+  Pipesort (full cube, [3]) / Partial-cube ([4]) on a single processor,
+  metered under the same cost model (speedup denominators).
+* :mod:`repro.baselines.naive` — every view from an independent sort of
+  the raw data set (the strategy the paper suggests for tiny selections).
+* :mod:`repro.baselines.local_tree` — per-rank local schedule trees
+  (the losing strategy of Figure 7).
+* :mod:`repro.baselines.onedim` — partitioning on the leading dimension
+  only, the rejected alternative of Section 2.2.
+"""
+
+from repro.baselines.local_tree import local_tree_cube
+from repro.baselines.naive import naive_sequential_cube
+from repro.baselines.onedim import onedim_partition_cube
+from repro.baselines.reference import reference_cube, reference_view
+from repro.baselines.sequential import sequential_cube
+
+__all__ = [
+    "local_tree_cube",
+    "naive_sequential_cube",
+    "onedim_partition_cube",
+    "reference_cube",
+    "reference_view",
+    "sequential_cube",
+]

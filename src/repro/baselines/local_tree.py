@@ -1,0 +1,37 @@
+"""Figure 7 comparator: per-rank *local* schedule trees.
+
+Identical to the main algorithm except each rank builds its own schedule
+tree from its own size estimates (no broadcast).  Views then come out in
+rank-specific sort orders and must be re-sorted into a common (canonical)
+order before Merge-Partitions — "that re-sort creates a large amount of
+additional computation" (Section 2.3), which is exactly what this variant
+measures.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.config import CubeConfig, MachineSpec
+from repro.core.cube import CubeResult, build_data_cube
+from repro.core.views import View
+
+__all__ = ["local_tree_cube"]
+
+
+def local_tree_cube(
+    relation,
+    cardinalities: Sequence[int],
+    spec: MachineSpec | None = None,
+    config: CubeConfig | None = None,
+    selected: Sequence[View] | None = None,
+    **kwargs,
+) -> CubeResult:
+    """Build the cube with per-rank local schedule trees."""
+    from dataclasses import replace
+
+    config = replace(config or CubeConfig(), global_schedule_tree=False)
+    return build_data_cube(
+        relation, cardinalities, spec=spec, config=config,
+        selected=selected, **kwargs,
+    )

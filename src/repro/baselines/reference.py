@@ -1,0 +1,66 @@
+"""Brute-force group-by reference: the correctness oracle.
+
+Computes each view directly from the raw relation with
+``np.unique(return_inverse=True)`` plus unbuffered ``ufunc.at``
+scatter-aggregation.  Slow relative to the pipelined cube algorithms but
+independent of every code path under test.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.views import View, all_views, canonical_view
+from repro.storage.codec import KeyCodec
+from repro.storage.table import Relation
+
+__all__ = ["reference_cube", "reference_view"]
+
+
+def reference_view(
+    relation: Relation,
+    cardinalities: Sequence[int],
+    view: View,
+    agg: str = "sum",
+) -> Relation:
+    """Ground-truth aggregation of one view, canonical column order."""
+    view = canonical_view(view)
+    cards = [int(cardinalities[i]) for i in view]
+    codec = KeyCodec(cards)
+    keys = codec.pack(relation.dims[:, view])
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    m = uniq.shape[0]
+    if agg == "sum":
+        out = np.zeros(m)
+        np.add.at(out, inverse, relation.measure)
+    elif agg == "count":
+        out = np.zeros(m)
+        np.add.at(out, inverse, 1.0)
+    elif agg == "min":
+        out = np.full(m, np.inf)
+        np.minimum.at(out, inverse, relation.measure)
+    elif agg == "max":
+        out = np.full(m, -np.inf)
+        np.maximum.at(out, inverse, relation.measure)
+    else:
+        raise ValueError(f"unsupported aggregate: {agg!r}")
+    if relation.nrows == 0:
+        return Relation.empty(len(view))
+    return Relation(codec.unpack(uniq), out)
+
+
+def reference_cube(
+    relation: Relation,
+    cardinalities: Sequence[int],
+    views: Sequence[View] | None = None,
+    agg: str = "sum",
+) -> dict[View, Relation]:
+    """Ground-truth cube over ``views`` (default: all ``2^d``)."""
+    if views is None:
+        views = all_views(relation.width)
+    return {
+        canonical_view(v): reference_view(relation, cardinalities, v, agg)
+        for v in views
+    }

@@ -1,0 +1,20 @@
+"""Benchmark harness: regenerates every figure of the paper's evaluation.
+
+The paper's evaluation (Section 4) consists of Figures 5-11 plus two
+headline claims; :mod:`repro.bench.experiments` has one entry point per
+figure, each returning a :class:`repro.bench.harness.Series` bundle that
+prints in the same rows/axes the paper plots.  The ``benchmarks/``
+directory wires these into pytest-benchmark; ``python -m repro.bench``
+regenerates everything and writes the EXPERIMENTS.md data block.
+"""
+
+from repro.bench.harness import BenchScale, Series, SeriesPoint, scale_from_env
+from repro.bench.reporting import format_series_table
+
+__all__ = [
+    "BenchScale",
+    "Series",
+    "SeriesPoint",
+    "format_series_table",
+    "scale_from_env",
+]

@@ -1,0 +1,76 @@
+"""Regenerate every experiment and print paper-style tables.
+
+Usage::
+
+    python -m repro.bench                 # all figures, default scale
+    REPRO_BENCH_N=50000 python -m repro.bench fig5 fig8
+    REPRO_BENCH_EXPORT=out/ python -m repro.bench   # also write CSV + JSON
+
+The output block is what EXPERIMENTS.md's measured sections are built from.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.bench import experiments
+from repro.bench.harness import scale_from_env
+from repro.bench.plotting import ascii_chart
+from repro.bench.reporting import format_kv_block, format_series_table
+
+ALL = {
+    "fig5": (experiments.fig5_speedup, {"show_comm": False}),
+    "fig6": (experiments.fig6_partial, {"show_comm": False}),
+    "fig7": (experiments.fig7_schedule_trees, {"show_comm": False}),
+    "fig8": (experiments.fig8_skew, {"show_speedup": False, "show_comm": True}),
+    "fig9": (experiments.fig9_cardinality, {"show_comm": False}),
+    "fig10": (experiments.fig10_dimensionality, {"show_speedup": False, "show_comm": True}),
+    "fig11": (experiments.fig11_balance, {"show_comm": False}),
+    "headline": (experiments.headline, {}),
+    "ablation-merge": (experiments.ablation_merge_cases, {"show_comm": True}),
+    "ablation-onedim": (experiments.ablation_onedim, {"show_comm": False}),
+}
+
+
+def main(argv: list[str]) -> int:
+    wanted = argv or list(ALL)
+    unknown = [w for w in wanted if w not in ALL]
+    if unknown:
+        print(f"unknown experiments: {unknown}; choose from {list(ALL)}")
+        return 2
+    scale = scale_from_env()
+    print(
+        f"# scale: n_base={scale.n_base:,} "
+        f"(1:{1 / scale.scale_factor:.0f} of the paper's 1M), "
+        f"p in {list(scale.processors)}\n"
+    )
+    for name in wanted:
+        fn, fmt = ALL[name]
+        t0 = time.perf_counter()
+        title, payload, notes = fn(scale)
+        took = time.perf_counter() - t0
+        if name == "headline":
+            print(format_kv_block(title, payload))
+        else:
+            print(format_series_table(title, payload, **fmt))
+            metric = "speedup" if fmt.get("show_speedup", True) else "seconds"
+            print()
+            print(ascii_chart(f"{title} — chart", payload, y=metric))
+            export_dir = os.environ.get("REPRO_BENCH_EXPORT")
+            if export_dir:
+                from repro.bench.export import series_to_csv, series_to_json
+
+                os.makedirs(export_dir, exist_ok=True)
+                series_to_csv(os.path.join(export_dir, f"{name}.csv"), payload)
+                series_to_json(
+                    os.path.join(export_dir, f"{name}.json"), title, payload
+                )
+        print(f"  note: {notes}")
+        print(f"  (measured in {took:.1f} host-seconds)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,65 @@
+"""Machine-readable export of experiment series (CSV / JSON).
+
+The text tables in ``benchmarks/results/`` are for humans; these exports
+feed plotting scripts and regression tracking.  ``python -m repro.bench``
+writes them next to the text tables when ``REPRO_BENCH_EXPORT`` is set.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Sequence
+
+from repro.bench.harness import Series
+
+__all__ = ["series_to_csv", "series_to_json"]
+
+
+def series_to_csv(path: str, series: Sequence[Series]) -> str:
+    """One row per (series, x) point with every metric as a column."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["series", "x_name", "x", "seconds", "speedup", "comm_mb"]
+        )
+        for s in series:
+            for pt in s.points:
+                writer.writerow(
+                    [
+                        s.label,
+                        s.x_name,
+                        pt.x,
+                        f"{pt.seconds:.6f}",
+                        "" if pt.speedup is None else f"{pt.speedup:.6f}",
+                        "" if pt.comm_mb is None else f"{pt.comm_mb:.6f}",
+                    ]
+                )
+    return path
+
+
+def series_to_json(path: str, title: str, series: Sequence[Series]) -> str:
+    """A self-describing JSON document per experiment."""
+    payload = {
+        "title": title,
+        "series": [
+            {
+                "label": s.label,
+                "x_name": s.x_name,
+                "points": [
+                    {
+                        "x": pt.x,
+                        "seconds": pt.seconds,
+                        "speedup": pt.speedup,
+                        "comm_mb": pt.comm_mb,
+                        "extra": pt.extra,
+                    }
+                    for pt in s.points
+                ],
+            }
+            for s in series
+        ],
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1)
+    return path

@@ -1,0 +1,144 @@
+"""Experiment plumbing shared by all figure reproductions.
+
+Scale
+-----
+The paper runs 1M-10M row inputs on a real 16-node cluster; Python's
+per-row constants put that out of a test-suite budget, so every experiment
+runs at a configurable scale.  ``BenchScale`` carries the two knobs:
+
+* ``n_base`` — the row count that stands in for the paper's n = 1,000,000
+  (default 25,000, i.e. a 1:40 scale),
+* ``processors`` — the processor counts swept (default 1..16 like the
+  paper's x-axes).
+
+Environment overrides: ``REPRO_BENCH_N`` and ``REPRO_BENCH_MAXP``.  All
+shape conclusions (who wins, where curves bend) are stable across scales;
+EXPERIMENTS.md records the scale each stored result used.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.config import CubeConfig, MachineSpec
+from repro.core.cube import CubeResult, build_data_cube
+from repro.baselines.sequential import sequential_cube
+from repro.data.generator import DatasetSpec, generate_dataset
+from repro.storage.table import Relation
+
+__all__ = [
+    "BenchScale",
+    "Series",
+    "SeriesPoint",
+    "scale_from_env",
+    "speedup_sweep",
+]
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Experiment scale knobs."""
+
+    #: Stand-in for the paper's n = 1,000,000 rows.
+    n_base: int = 25_000
+    #: Processor counts swept where the paper sweeps 1..16.
+    processors: tuple[int, ...] = (1, 2, 4, 8, 16)
+
+    @property
+    def scale_factor(self) -> float:
+        """Row-count ratio to the paper's base size."""
+        return self.n_base / 1_000_000
+
+
+def scale_from_env() -> BenchScale:
+    """Build a :class:`BenchScale` honouring environment overrides."""
+    n_base = int(os.environ.get("REPRO_BENCH_N", 25_000))
+    max_p = int(os.environ.get("REPRO_BENCH_MAXP", 16))
+    processors = tuple(p for p in (1, 2, 4, 8, 16) if p <= max_p)
+    return BenchScale(n_base=n_base, processors=processors or (1,))
+
+
+@dataclass
+class SeriesPoint:
+    """One measured point of one curve."""
+
+    x: float
+    seconds: float
+    speedup: float | None = None
+    comm_mb: float | None = None
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass
+class Series:
+    """One labelled curve (e.g. "n=2,000,000" in Figure 5a)."""
+
+    label: str
+    x_name: str
+    points: list[SeriesPoint] = field(default_factory=list)
+
+    def xs(self) -> list[float]:
+        return [pt.x for pt in self.points]
+
+    def seconds(self) -> list[float]:
+        return [pt.seconds for pt in self.points]
+
+    def speedups(self) -> list[float | None]:
+        return [pt.speedup for pt in self.points]
+
+
+def speedup_sweep(
+    label: str,
+    dataset: Relation,
+    cardinalities: Sequence[int],
+    processors: Sequence[int],
+    config: CubeConfig | None = None,
+    builder: Callable[..., CubeResult] | None = None,
+    sequential_seconds: float | None = None,
+    spec_base: MachineSpec | None = None,
+) -> Series:
+    """Measure parallel wall-clock and relative speedup across ``p``.
+
+    ``builder`` defaults to :func:`build_data_cube`; pass a baseline
+    builder (e.g. the local-tree variant) to produce its curve instead.
+    ``sequential_seconds`` (the speedup denominator) is measured once with
+    the paper's sequential Pipesort when not supplied.
+    """
+    builder = builder or build_data_cube
+    spec_base = spec_base or MachineSpec()
+    if sequential_seconds is None:
+        seq = sequential_cube(dataset, cardinalities, spec_base, config)
+        sequential_seconds = seq.metrics.simulated_seconds
+    series = Series(label=label, x_name="processors")
+    for p in processors:
+        cube = builder(
+            dataset, cardinalities, spec_base.with_processors(p), config
+        )
+        series.points.append(
+            SeriesPoint(
+                x=p,
+                seconds=cube.metrics.simulated_seconds,
+                speedup=sequential_seconds / cube.metrics.simulated_seconds,
+                comm_mb=cube.metrics.comm_bytes / 1e6,
+                extra={
+                    "output_rows": cube.metrics.output_rows,
+                    "views": cube.metrics.view_count,
+                },
+            )
+        )
+    return series
+
+
+def dataset_for(spec: DatasetSpec) -> Relation:
+    """Generate (and cache per-process) the dataset of one experiment."""
+    key = (spec.n, spec.cardinalities, spec.alphas, spec.seed)
+    cached = _DATASET_CACHE.get(key)
+    if cached is None:
+        cached = generate_dataset(spec)
+        _DATASET_CACHE[key] = cached
+    return cached
+
+
+_DATASET_CACHE: dict = {}

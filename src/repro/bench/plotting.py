@@ -1,0 +1,72 @@
+"""Terminal charts for experiment series.
+
+The paper's figures are line plots; these ASCII renderings give the
+benchmark output the same at-a-glance readability without any plotting
+dependency.  Used by ``python -m repro.bench`` and stored alongside the
+tables in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.harness import Series
+
+__all__ = ["ascii_chart"]
+
+_MARKS = "ox+*#@%&"
+
+
+def ascii_chart(
+    title: str,
+    series: Sequence[Series],
+    y: str = "speedup",
+    width: int = 56,
+    height: int = 16,
+) -> str:
+    """Render curves as a character grid.
+
+    ``y`` selects the metric: ``"speedup"``, ``"seconds"`` or ``"comm"``.
+    X positions use the series' x values scaled linearly; one mark
+    character per series, with a legend below.
+    """
+    pts: list[tuple[float, float, int]] = []
+    for idx, s in enumerate(series):
+        for pt in s.points:
+            if y == "speedup":
+                val = pt.speedup
+            elif y == "comm":
+                val = pt.comm_mb
+            else:
+                val = pt.seconds
+            if val is not None:
+                pts.append((pt.x, float(val), idx))
+    if not pts:
+        return f"{title}\n  (no data)"
+
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = 0.0, max(ys) * 1.05 or 1.0
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, val, idx in pts:
+        col = round((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - round(val / y_hi * (height - 1))
+        row = min(max(row, 0), height - 1)
+        grid[row][col] = _MARKS[idx % len(_MARKS)]
+
+    lines = [title]
+    for r, row in enumerate(grid):
+        y_val = y_hi * (height - 1 - r) / (height - 1)
+        label = f"{y_val:8.1f} |" if r % 4 == 0 or r == height - 1 else "         |"
+        lines.append(label + "".join(row))
+    lines.append("         +" + "-" * width)
+    x_axis = f"{x_lo:g}".ljust(width - len(f"{x_hi:g}")) + f"{x_hi:g}"
+    lines.append("          " + x_axis)
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {s.label}" for i, s in enumerate(series)
+    )
+    lines.append(f"          [{y}]  {legend}")
+    return "\n".join(lines)

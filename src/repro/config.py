@@ -1,0 +1,217 @@
+"""Machine and run configuration for the simulated shared-nothing cluster.
+
+The paper's platform is a 16-node Beowulf cluster (1.8 GHz Xeon, 512 MB RAM,
+IDE disks, 100 Mbit Ethernet).  We cannot attach real hardware, so every
+quantity the paper's analysis reasons about is modelled explicitly here:
+
+* ``p``                -- number of (virtual) processors,
+* ``memory_budget``    -- per-processor main-memory budget in *rows* used by
+                          the external-memory sort,
+* ``block_size``       -- disk block transfer size in *rows* (the ``B`` of
+                          the external-memory model),
+* ``beta_sec_per_mb``  -- network inverse bandwidth (seconds per megabyte of
+                          the maximum per-rank h-relation volume),
+* ``latency_sec``      -- per-collective latency (the ``λ`` of a BSP
+                          superstep),
+* ``disk_sec_per_block`` -- cost charged per block transfer,
+* ``compute_scale``    -- multiplier applied to measured per-rank CPU time
+                          before it enters the simulated clock.
+
+Defaults are calibrated to the paper's regime: "communication speed is
+extremely slow in comparison to computation speed" (100 Mbit switch vs Xeon
+CPUs), which is what makes the merge-avoidance machinery worthwhile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+#: Row width used to convert row counts to bytes in the network/disk cost
+#: model.  The paper's 2,000,000-row input is 72 MB, i.e. ~36 bytes/row
+#: (8 dims + measure at 4 bytes each).
+BYTES_PER_ROW_DEFAULT = 36
+
+#: Balance threshold used by the data-partitioning global sort (Procedure 1,
+#: step 1b): "In our implementation we use a threshold value of γ = 1%."
+GAMMA_PARTITION_DEFAULT = 0.01
+
+#: Balance threshold used by Merge-Partitions for the case-2/case-3 decision
+#: and the case-3 re-sort (Procedure 3, step 5 uses γ = 3%).
+GAMMA_MERGE_DEFAULT = 0.03
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of the simulated shared-nothing machine.
+
+    Instances are immutable; derive variants with :meth:`with_processors`
+    or :func:`dataclasses.replace`.
+    """
+
+    #: Number of virtual processors (MPI ranks).
+    p: int = 4
+    #: Per-processor in-memory row budget for external-memory operations.
+    #: The default mirrors the paper's regime (512 MB nodes vs a 72-360 MB
+    #: data set: sorts run in memory at benchmark scales on the sequential
+    #: baseline too, so speedups stay sub-linear as in the paper).  Shrink
+    #: it to force the external-memory sort paths.
+    memory_budget: int = 1 << 21
+    #: Disk block size in rows (``B`` in the external-memory model).
+    block_size: int = 1 << 10
+    #: Seconds charged per megabyte of max-per-rank h-relation traffic.
+    #: 100 Mbit Ethernet moves ~12.5 MB/s; 0.08 s/MB matches that era.
+    beta_sec_per_mb: float = 0.08
+    #: Fixed latency charged per collective operation (seconds).
+    latency_sec: float = 1e-3
+    #: Seconds charged per disk block transfer.  7200 RPM IDE streamed
+    #: ~25 MB/s; one 1024-row (36 KB) block ≈ 1.4 ms.
+    disk_sec_per_block: float = 1.4e-3
+    #: Independent local disks per processor (Section 2: the method
+    #: generalises via Vitter-Shriver striping; the paper's own nodes had
+    #: two IDE drives).  D disks move D blocks per I/O step, so the
+    #: per-block cost divides by D.
+    disks_per_node: int = 1
+    #: Multiplier from measured Python CPU seconds to simulated seconds.
+    #: Host CPU is a *minor* term of the model (see the work-charge
+    #: constants below, which carry the deterministic per-row costs);
+    #: measured CPU mainly keeps genuinely unmodelled Python work visible.
+    compute_scale: float = 1.0
+    #: Modelled CPU cost of sorting: seconds per row per log2-level
+    #: (``sort(n) = sort_sec_per_row_level · n · max(1, log2 n)``).
+    #: 0.2 µs/row-level ≈ a 1.8 GHz Xeon comparison-sorting 36-byte
+    #: records; it reproduces the paper's sequential magnitudes
+    #: (n = 1M, 255 views → O(10^3) seconds).
+    sort_sec_per_row_level: float = 2.0e-7
+    #: Modelled CPU cost of streaming work (scan-aggregate, merge, pack):
+    #: seconds per row touched.
+    scan_sec_per_row: float = 2.0e-7
+    #: Bytes per relation row, for cost conversions.
+    bytes_per_row: int = BYTES_PER_ROW_DEFAULT
+
+    def __post_init__(self) -> None:
+        if self.p < 1:
+            raise ValueError(f"p must be >= 1, got {self.p}")
+        if self.memory_budget < 4:
+            raise ValueError(
+                f"memory_budget must be >= 4 rows, got {self.memory_budget}"
+            )
+        if self.block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {self.block_size}")
+        if self.block_size > self.memory_budget:
+            raise ValueError(
+                "block_size must not exceed memory_budget "
+                f"({self.block_size} > {self.memory_budget})"
+            )
+        if self.beta_sec_per_mb < 0 or self.latency_sec < 0:
+            raise ValueError("network cost parameters must be non-negative")
+        if self.disk_sec_per_block < 0:
+            raise ValueError("disk_sec_per_block must be non-negative")
+        if self.disks_per_node < 1:
+            raise ValueError("disks_per_node must be >= 1")
+        if self.compute_scale <= 0:
+            raise ValueError("compute_scale must be positive")
+        if self.bytes_per_row < 1:
+            raise ValueError("bytes_per_row must be >= 1")
+
+    def with_processors(self, p: int) -> "MachineSpec":
+        """Return a copy of this spec with a different processor count."""
+        return replace(self, p=p)
+
+    def rows_to_mb(self, rows: int) -> float:
+        """Convert a row count to megabytes under this spec's row width."""
+        return rows * self.bytes_per_row / 1e6
+
+    @property
+    def effective_disk_sec_per_block(self) -> float:
+        """Per-block cost with Vitter-Shriver striping over D local disks."""
+        return self.disk_sec_per_block / self.disks_per_node
+
+    def comm_cost(self, max_rank_bytes: int) -> float:
+        """BSP cost of one h-relation whose largest per-rank volume
+        (bytes in + bytes out on the busiest rank) is ``max_rank_bytes``."""
+        return self.latency_sec + self.beta_sec_per_mb * max_rank_bytes / 1e6
+
+
+@dataclass(frozen=True)
+class CubeConfig:
+    """Algorithm-level knobs of the parallel cube construction."""
+
+    #: Balance threshold γ for the partitioning sort (Procedure 1 step 1b).
+    gamma_partition: float = GAMMA_PARTITION_DEFAULT
+    #: Balance threshold γ for Merge-Partitions case selection / re-sort.
+    gamma_merge: float = GAMMA_MERGE_DEFAULT
+    #: Samples per processor used by the size-estimation array
+    #: (paper: "a sample of only 100 p equal spaced sample elements").
+    sample_factor: int = 100
+    #: Use one global schedule tree per partition (paper's choice) or let
+    #: every rank build its own local tree (the Figure 7 comparator).
+    global_schedule_tree: bool = True
+    #: Merge-phase policy for non-prefix views: "adaptive" (the paper's
+    #: γ-driven case-2/case-3 choice), "always_resort" (every non-prefix
+    #: view through the case-3 global sort) or "never_resort" (ownership
+    #: routing regardless of imbalance) — the latter two exist for the
+    #: ablation benchmarks.
+    merge_policy: str = "adaptive"
+    #: Derive each Di-root from the (already aggregated, already locally
+    #: present) D(i-1)-root instead of re-sorting the raw chunk — an
+    #: optimisation beyond the paper (its Procedure 1 step 1a always
+    #: starts from the raw subset).  Aggregation is associative, so the
+    #: result is identical; the sort input shrinks from n/p raw rows to
+    #: the previous root's (smaller) row count.
+    incremental_roots: bool = False
+    #: Aggregate function applied to the measure column.
+    agg: str = "sum"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.gamma_partition <= 1.0:
+            raise ValueError(
+                f"gamma_partition must be in (0, 1], got {self.gamma_partition}"
+            )
+        if not 0.0 < self.gamma_merge <= 1.0:
+            raise ValueError(
+                f"gamma_merge must be in (0, 1], got {self.gamma_merge}"
+            )
+        if self.sample_factor < 1:
+            raise ValueError("sample_factor must be >= 1")
+        if self.merge_policy not in ("adaptive", "always_resort", "never_resort"):
+            raise ValueError(
+                f"unknown merge_policy: {self.merge_policy!r}"
+            )
+        if self.agg not in ("sum", "count", "min", "max"):
+            raise ValueError(f"unsupported aggregate: {self.agg!r}")
+
+
+@dataclass
+class RunResult:
+    """Outcome record of one parallel cube construction run."""
+
+    #: Simulated parallel wall-clock seconds (BSP model).
+    simulated_seconds: float
+    #: Real wall-clock seconds the simulation itself took.
+    host_seconds: float
+    #: Total rows across all views of the produced cube.
+    output_rows: int
+    #: Number of views materialised.
+    view_count: int
+    #: Total bytes moved through the virtual network.
+    comm_bytes: int
+    #: Total disk block transfers across all ranks.
+    disk_blocks: int
+    #: Free-form per-phase breakdown (phase name -> simulated seconds).
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: Communication-only per-phase breakdown.
+    phase_comm_seconds: dict[str, float] = field(default_factory=dict)
+    #: Full superstep log (SuperstepRecord objects) — feeds the what-if
+    #: network projection and the trace diagnostics.
+    superstep_log: list = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.view_count} views, {self.output_rows} rows, "
+            f"simulated {self.simulated_seconds:.2f}s "
+            f"(host {self.host_seconds:.2f}s, "
+            f"{self.comm_bytes / 1e6:.1f} MB communicated, "
+            f"{self.disk_blocks} disk blocks)"
+        )

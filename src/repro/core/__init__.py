@@ -1,0 +1,36 @@
+"""The paper's primary contribution: parallel ROLAP data cube construction.
+
+Layout mirrors the paper's Section 2:
+
+* :mod:`repro.core.views`, :mod:`repro.core.lattice` — view identifiers and
+  the 2^d lattice (Figure 1a).
+* :mod:`repro.core.partitions` — ``Di``-partitions and ``Di``-roots
+  (Figure 3).
+* :mod:`repro.core.estimate` — view-size estimation feeding schedule-tree
+  costs.
+* :mod:`repro.core.pipesort` — sequential top-down cube building block:
+  phase 1 (schedule tree via level-wise minimum-cost matching) and phase 2
+  (pipelined scan/sort execution).
+* :mod:`repro.core.partial` — schedule trees for partial cubes (Section 3).
+* :mod:`repro.core.sample_sort` — Procedure 2, Adaptive-Sample-Sort.
+* :mod:`repro.core.sampling` — the 100·p decimation sample (Section 2.4).
+* :mod:`repro.core.merge` — Procedure 3, Merge-Partitions.
+* :mod:`repro.core.cube` — Procedure 1, the parallel driver and public API.
+"""
+
+from repro.core.cube import CubeResult, build_data_cube, build_partial_cube
+from repro.core.lattice import Lattice
+from repro.core.pipesort import ScheduleTree, build_schedule_tree
+from repro.core.views import View, canonical_view, view_name
+
+__all__ = [
+    "CubeResult",
+    "Lattice",
+    "ScheduleTree",
+    "View",
+    "build_data_cube",
+    "build_partial_cube",
+    "build_schedule_tree",
+    "canonical_view",
+    "view_name",
+]

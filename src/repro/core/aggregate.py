@@ -1,0 +1,63 @@
+"""Measure algebra shared by the aggregation kernels and the merge phase.
+
+The distributive aggregate functions of the paper's setting (SUM, COUNT,
+MIN, MAX) are the ones a ROLAP cube can compute by merging partial
+aggregates; COUNT merges by addition.  Scalar combination is needed at the
+few places (boundary agglomeration) where two already-aggregated rows for
+the same key meet.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.table import Relation
+
+__all__ = [
+    "SUPPORTED_AGGS",
+    "combine_scalar",
+    "combine_arrays",
+    "prepare_measure",
+]
+
+SUPPORTED_AGGS = ("sum", "count", "min", "max")
+
+
+def prepare_measure(relation: Relation, agg: str) -> tuple[Relation, str]:
+    """Normalise COUNT into SUM-of-ones at ingestion.
+
+    COUNT is only a row count at the *first* aggregation; every
+    re-aggregation (pipeline steps, merges) must add the partial counts.
+    Swapping the measure for 1.0 and aggregating with SUM gives exactly
+    that semantics everywhere downstream.
+    """
+    if agg == "count":
+        return (
+            Relation(relation.dims, np.ones(relation.nrows)),
+            "sum",
+        )
+    if agg not in SUPPORTED_AGGS:
+        raise ValueError(f"unsupported aggregate: {agg!r}")
+    return relation, agg
+
+
+def combine_scalar(a: float, b: float, agg: str) -> float:
+    """Combine two partial aggregates of the same key."""
+    if agg in ("sum", "count"):
+        return a + b
+    if agg == "min":
+        return min(a, b)
+    if agg == "max":
+        return max(a, b)
+    raise ValueError(f"unsupported aggregate: {agg!r}")
+
+
+def combine_arrays(a: np.ndarray, b: np.ndarray, agg: str) -> np.ndarray:
+    """Element-wise partial-aggregate combination."""
+    if agg in ("sum", "count"):
+        return a + b
+    if agg == "min":
+        return np.minimum(a, b)
+    if agg == "max":
+        return np.maximum(a, b)
+    raise ValueError(f"unsupported aggregate: {agg!r}")

@@ -1,0 +1,487 @@
+"""Procedure 1: the parallel shared-nothing data cube driver (public API).
+
+:func:`build_data_cube` runs the paper's three-phase algorithm over the
+simulated cluster, one ``Di``-partition at a time:
+
+1. **Data partitioning** — each rank aggregates its raw chunk to the local
+   ``Di``-root, all ranks globally sort the roots with Adaptive-Sample-Sort
+   (γ = 1%), then re-aggregate locally.
+2. **Local partition computation** — rank 0 builds the partition's schedule
+   tree from view-size estimates on *its* chunk and broadcasts it (the
+   paper's winning *global schedule tree* strategy; pass
+   ``CubeConfig(global_schedule_tree=False)`` for the Figure 7 ablation —
+   see :mod:`repro.baselines.local_tree` for the matching merge handling);
+   every rank then runs Pipesort phase 2 locally.
+3. **Merge** — Procedure 3 agglomerates the per-rank pieces of every view
+   (see :mod:`repro.core.merge`).
+
+The result leaves every view evenly distributed across the virtual disks,
+ready for parallel OLAP scans — and carries the full metering record
+(simulated wall-clock, communication volume, disk traffic) that the
+benchmark harness turns into the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import CubeConfig, MachineSpec, RunResult
+from repro.core.aggregate import prepare_measure
+from repro.core.estimate import estimate_view_sizes
+from repro.core.merge import MergeReport, merge_partitions
+from repro.core.partial import build_partial_schedule_tree, prune_full_tree
+from repro.core.partitions import partition_all, partition_views
+from repro.core.pipesort import ScheduleTree, build_schedule_tree, execute_schedule
+from repro.core.sample_sort import adaptive_sample_sort
+from repro.core.viewdata import ViewData, codec_for_order
+from repro.core.views import View, canonical_view, view_name
+from repro.mpi.comm import Comm
+from repro.mpi.engine import ClusterResult, run_spmd
+from repro.storage.external_sort import external_sort
+from repro.storage.scan import aggregate_sorted_keys
+from repro.storage.table import Relation
+
+__all__ = ["CubeResult", "build_data_cube", "build_partial_cube", "split_even"]
+
+
+# ---------------------------------------------------------------------------
+# result type
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CubeResult:
+    """A constructed (full or partial) data cube plus run metering."""
+
+    #: Per-rank view pieces: ``rank_views[j][view]`` is rank ``j``'s slice.
+    rank_views: list[dict[View, ViewData]]
+    #: Global dimension cardinalities (schedule-tree index space).
+    cardinalities: tuple[int, ...]
+    #: Run metrics (simulated seconds, traffic, disk blocks, phases).
+    metrics: RunResult
+    #: Per-partition merge reports from every rank (rank 0's copy).
+    merge_reports: list[MergeReport] = field(default_factory=list)
+    #: Schedule trees used, one per partition (rank 0's copy).
+    schedule_trees: list[ScheduleTree] = field(default_factory=list)
+    #: The internal aggregate the stored measures carry ("sum" for COUNT
+    #: cubes — see repro.core.aggregate.prepare_measure).
+    agg: str = "sum"
+
+    @property
+    def views(self) -> list[View]:
+        """All materialised view identifiers."""
+        return sorted(self.rank_views[0], key=lambda v: (len(v), v))
+
+    @property
+    def view_count(self) -> int:
+        return len(self.rank_views[0])
+
+    def view_rows(self, view: View) -> int:
+        """Total rows of one view across all ranks."""
+        view = canonical_view(view)
+        return sum(rv[view].nrows for rv in self.rank_views)
+
+    def total_rows(self) -> int:
+        """Total cube size in rows (the paper's headline output metric)."""
+        return sum(self.view_rows(v) for v in self.rank_views[0])
+
+    def view_relation(self, view: View) -> Relation:
+        """Gather one view into a single relation (canonical column order)."""
+        view = canonical_view(view)
+        parts = [
+            rv[view].to_relation(self.cardinalities) for rv in self.rank_views
+        ]
+        return Relation.concat(parts)
+
+    def distribution(self, view: View) -> np.ndarray:
+        """Per-rank row counts of a view (balance inspection)."""
+        view = canonical_view(view)
+        return np.array([rv[view].nrows for rv in self.rank_views])
+
+    def describe(self) -> str:
+        lines = [
+            f"data cube: {self.view_count} views, {self.total_rows()} rows, "
+            f"p={len(self.rank_views)}",
+            f"  simulated time : {self.metrics.simulated_seconds:.2f} s",
+            f"  communication  : {self.metrics.comm_bytes / 1e6:.2f} MB",
+            f"  disk transfers : {self.metrics.disk_blocks} blocks",
+        ]
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# data distribution helper
+# ---------------------------------------------------------------------------
+
+
+def split_even(relation: Relation, p: int) -> list[Relation]:
+    """Split a relation into ``p`` contiguous chunks of near-equal size
+    (the paper's input precondition: n/p records per processor)."""
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    n = relation.nrows
+    base, rem = divmod(n, p)
+    chunks = []
+    start = 0
+    for j in range(p):
+        stop = start + base + (1 if j < rem else 0)
+        chunks.append(relation.slice(start, stop))
+        start = stop
+    return chunks
+
+
+# ---------------------------------------------------------------------------
+# the SPMD rank program
+# ---------------------------------------------------------------------------
+
+
+def _rank_program(
+    comm: Comm,
+    chunks: Sequence[Relation],
+    cards: tuple[int, ...],
+    config: CubeConfig,
+    selected: tuple[View, ...] | None,
+    estimate_method: str,
+    memory_budget: int,
+):
+    raw = chunks[comm.rank]
+    d = len(cards)
+    agg = config.agg
+    out_views: dict[View, ViewData] = {}
+    reports: list[MergeReport] = []
+    trees: list[ScheduleTree] = []
+    selected_set = None if selected is None else set(selected)
+    prev_root: ViewData | None = None
+    prev_i: int | None = None
+
+    for i, root, pviews in partition_all(d, selected):
+        root_order = tuple(range(i, d))
+
+        # ---- Step 1: data partitioning -------------------------------
+        comm.set_phase(f"partition-sort[{i}]")
+        if (
+            config.incremental_roots
+            and prev_root is not None
+            and prev_i is not None
+            and prev_i < i
+        ):
+            # Optimisation beyond the paper: this rank already holds a
+            # piece of the global D(prev_i)-root; dropping its leading
+            # dims and re-aggregating yields a valid local piece of the
+            # Di-root (aggregation is associative), from far fewer rows
+            # than the raw chunk.
+            prev_codec = codec_for_order(prev_root.order, cards)
+            prev_dims = prev_codec.unpack(prev_root.keys)
+            keep = [
+                pos for pos, dim in enumerate(prev_root.order) if dim >= i
+            ]
+            reorder = sorted(keep, key=lambda pos: prev_root.order[pos])
+            codec = codec_for_order(root_order, cards)
+            keys = codec.pack(prev_dims[:, reorder])
+            comm.disk.charge_scan(prev_root.nrows)
+            comm.disk.work.charge_scan(prev_root.nrows)
+            keys, measure = external_sort(
+                keys, prev_root.measure, comm.disk, memory_budget
+            )
+        else:
+            codec = codec_for_order(root_order, cards)
+            keys = codec.pack(raw.dims[:, i:d])
+            comm.disk.charge_scan(raw.nrows)  # read the raw chunk
+            comm.disk.work.charge_scan(raw.nrows)  # pack
+            keys, measure = external_sort(
+                keys, raw.measure, comm.disk, memory_budget
+            )
+        comm.disk.work.charge_scan(keys.shape[0])
+        keys, measure = aggregate_sorted_keys(keys, measure, agg)  # 1a
+        outcome = adaptive_sample_sort(  # 1b
+            comm, keys, measure, config.gamma_partition
+        )
+        comm.disk.work.charge_scan(outcome.keys.shape[0])
+        keys, measure = aggregate_sorted_keys(  # 1c
+            outcome.keys, outcome.measure, agg
+        )
+        root_data = ViewData(root_order, keys, measure)
+        prev_root, prev_i = root_data, i
+
+        # ---- Step 2: local Di-partition computation -------------------
+        comm.set_phase(f"compute[{i}]")
+        tree = _build_tree(
+            comm, root, root_order, pviews, root_data, cards,
+            config, selected_set, estimate_method,
+        )
+        local = execute_schedule(
+            tree, root_data, cards, comm.disk, memory_budget, agg
+        )
+        if not config.global_schedule_tree and comm.size > 1:
+            # Local schedule trees differ per rank, so view pieces land in
+            # rank-specific sort orders; the merge needs one common order,
+            # which forces a re-sort of every non-conforming view — the
+            # exact overhead Figure 7 charges against this strategy.  (A
+            # single rank has nothing to merge, hence nothing to re-sort.)
+            comm.set_phase(f"resort[{i}]")
+            local = {
+                v: _to_canonical_order(
+                    data, cards, comm.disk, memory_budget
+                )
+                for v, data in local.items()
+            }
+            tree = _canonical_tree_stub(root, root_order)
+
+        # ---- Step 3: merge of local Di-partitions ---------------------
+        comm.set_phase(f"merge[{i}]")
+        wanted = {
+            v: data
+            for v, data in local.items()
+            if selected_set is None or v in selected_set
+        }
+        merged, report = merge_partitions(
+            comm, wanted, tree, config, memory_budget
+        )
+        for v, data in merged.items():
+            comm.disk.charge_store(data.nrows)  # final materialisation
+            out_views[v] = data
+        reports.append(report)
+        trees.append(tree)
+
+    return out_views, reports, trees
+
+
+def _to_canonical_order(
+    data: ViewData,
+    cards: tuple[int, ...],
+    disk,
+    memory_budget: int,
+) -> ViewData:
+    """Re-sort one view piece into its canonical attribute order.
+
+    Keys stay unique (the piece was already aggregated), so no collapse is
+    needed — only the unpack / re-pack / external sort, whose disk and CPU
+    cost is precisely the local-tree penalty.
+    """
+    canon = data.view
+    if tuple(data.order) == canon:
+        return data
+    codec = codec_for_order(data.order, cards)
+    dims = codec.unpack(data.keys)
+    col_of = {dim: pos for pos, dim in enumerate(data.order)}
+    cols = [col_of[dim] for dim in canon]
+    canon_codec = codec_for_order(canon, cards)
+    keys = canon_codec.pack(dims[:, cols]) if cols else data.keys * 0
+    disk.charge_scan(data.nrows)  # read the stored view back
+    disk.work.charge_scan(data.nrows)
+    keys, measure = external_sort(keys, data.measure, disk, memory_budget)
+    disk.charge_store(data.nrows)  # re-write in the common order
+    return ViewData(canon, keys, measure)
+
+
+def _canonical_tree_stub(root: View, root_order: tuple[int, ...]) -> ScheduleTree:
+    """Minimal tree carrying only the root order (what the merge reads)."""
+    return ScheduleTree(root, root_order)
+
+
+def _build_tree(
+    comm: Comm,
+    root: View,
+    root_order: tuple[int, ...],
+    pviews: Sequence[View],
+    root_data: ViewData,
+    cards: tuple[int, ...],
+    config: CubeConfig,
+    selected_set: set[View] | None,
+    estimate_method: str,
+) -> ScheduleTree:
+    """Steps 2a/2b: schedule tree construction and (optional) broadcast."""
+    build_locally = (not config.global_schedule_tree) or comm.rank == 0
+    tree = None
+    if build_locally:
+        if selected_set is None:
+            estimates = _estimate_sizes(
+                root_data, root_order, cards, pviews, comm.size,
+                estimate_method,
+            )
+            tree = build_schedule_tree(pviews, root, estimates, root_order)
+        else:
+            # Partial cube (Section 3): the scheduler of [4] produces
+            # either a subtree of the full-cube Pipesort tree or a tree
+            # built directly from the lattice — build both, keep the
+            # cheaper under the same cost model.
+            d = root[-1] + 1 if root else 0
+            full_views = partition_views(root[0], d) if root else [()]
+            estimates = _estimate_sizes(
+                root_data, root_order, cards, full_views, comm.size,
+                estimate_method,
+            )
+            wanted = [v for v in pviews if v != root]
+            direct = build_partial_schedule_tree(
+                wanted, root, estimates, root_order
+            )
+            full_tree = build_schedule_tree(
+                full_views, root, estimates, root_order
+            )
+            pruned = prune_full_tree(full_tree, wanted)
+            tree = min(
+                (direct, pruned), key=lambda t: t.estimated_cost(estimates)
+            )
+    if config.global_schedule_tree:
+        tree = comm.bcast(tree, root=0)
+    return tree
+
+
+def _estimate_sizes(
+    root_data: ViewData,
+    root_order: tuple[int, ...],
+    cards: tuple[int, ...],
+    pviews: Sequence[View],
+    p: int,
+    method: str,
+) -> dict[View, float]:
+    """View-size estimates from this rank's root chunk, extrapolated x p."""
+    codec = codec_for_order(root_order, cards)
+    dims = codec.unpack(root_data.keys)
+    offset = root_order[0] if root_order else 0
+    local_cards = [cards[i] for i in root_order]
+    translated = [tuple(i - offset for i in v) for v in pviews]
+    local = estimate_view_sizes(
+        dims,
+        local_cards,
+        translated,
+        total_rows=root_data.nrows * p,
+        method=method,
+    )
+    return {
+        tuple(i + offset for i in tv): size for tv, size in local.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# public entry points
+# ---------------------------------------------------------------------------
+
+
+def build_data_cube(
+    relation: Relation,
+    cardinalities: Sequence[int],
+    spec: MachineSpec | None = None,
+    config: CubeConfig | None = None,
+    selected: Sequence[View] | None = None,
+    estimate_method: str = "sample",
+    disk_root: str | None = None,
+) -> CubeResult:
+    """Construct the (full or partial) data cube of ``relation`` in parallel.
+
+    Parameters
+    ----------
+    relation:
+        The raw data set ``R`` (dimension codes + one measure column).
+        Dimensions must be ordered by non-increasing cardinality, matching
+        the paper's convention (the data generator emits this order).
+    cardinalities:
+        ``|Di|`` per dimension column.
+    spec:
+        Simulated machine; default :class:`MachineSpec` (p=4).
+    config:
+        Algorithm knobs (γ thresholds, schedule-tree strategy, aggregate).
+    selected:
+        Optional subset of views for a partial cube; ``None`` = all ``2^d``.
+    estimate_method:
+        View-size estimator fed to schedule-tree construction
+        (``"sample"``, ``"fm"``, ``"analytic"``, ``"exact"``).
+    disk_root:
+        Directory for real spill files; ``None`` keeps virtual disks in
+        memory (identical accounting).
+
+    Returns
+    -------
+    :class:`CubeResult` — per-rank view pieces plus run metrics.
+    """
+    spec = spec or MachineSpec()
+    config = config or CubeConfig()
+    cards = tuple(int(c) for c in cardinalities)
+    if relation.width != len(cards):
+        raise ValueError(
+            f"relation has {relation.width} dimension columns but "
+            f"{len(cards)} cardinalities were given"
+        )
+    if any(c < 1 for c in cards):
+        raise ValueError(f"cardinalities must be >= 1: {cards}")
+    if list(cards) != sorted(cards, reverse=True):
+        raise ValueError(
+            "dimensions must be ordered by non-increasing cardinality "
+            f"(got {cards}); reorder the columns first"
+        )
+    if relation.nrows and relation.dims.size:
+        if relation.dims.min() < 0 or (
+            relation.dims >= np.asarray(cards)[None, :]
+        ).any():
+            raise ValueError("dimension codes outside [0, cardinality)")
+    if selected is not None:
+        selected = tuple(
+            sorted({canonical_view(v) for v in selected}, key=lambda v: (len(v), v))
+        )
+        for v in selected:
+            if v and max(v) >= len(cards):
+                raise ValueError(f"selected view {view_name(v)} out of range")
+        if not selected:
+            raise ValueError("selected view set must not be empty")
+
+    relation, internal_agg = prepare_measure(relation, config.agg)
+    if internal_agg != config.agg:
+        config = replace(config, agg=internal_agg)
+
+    chunks = split_even(relation, spec.p)
+    cluster = run_spmd(
+        _rank_program,
+        spec,
+        args=(chunks, cards, config, selected, estimate_method,
+              spec.memory_budget),
+        disk_root=disk_root,
+    )
+    return _assemble(cluster, cards, config.agg)
+
+
+def build_partial_cube(
+    relation: Relation,
+    cardinalities: Sequence[int],
+    selected: Sequence[View],
+    spec: MachineSpec | None = None,
+    config: CubeConfig | None = None,
+    **kwargs,
+) -> CubeResult:
+    """Convenience wrapper: :func:`build_data_cube` with a selected subset."""
+    return build_data_cube(
+        relation, cardinalities, spec=spec, config=config,
+        selected=selected, **kwargs,
+    )
+
+
+def _assemble(
+    cluster: ClusterResult, cards: tuple[int, ...], agg: str = "sum"
+) -> CubeResult:
+    rank_views = [result[0] for result in cluster.rank_results]
+    reports = cluster.rank_results[0][1]
+    trees = cluster.rank_results[0][2]
+    output_rows = sum(
+        data.nrows for rv in rank_views for data in rv.values()
+    )
+    metrics = RunResult(
+        simulated_seconds=cluster.simulated_seconds,
+        host_seconds=cluster.host_seconds,
+        output_rows=output_rows,
+        view_count=len(rank_views[0]),
+        comm_bytes=cluster.stats.total_bytes,
+        disk_blocks=cluster.total_disk_blocks(),
+        phase_seconds=cluster.clock.phase_breakdown(),
+        phase_comm_seconds=cluster.clock.phase_comm_breakdown(),
+        superstep_log=list(cluster.clock.log),
+    )
+    return CubeResult(
+        rank_views=rank_views,
+        cardinalities=cards,
+        metrics=metrics,
+        merge_reports=reports,
+        schedule_trees=trees,
+        agg=agg,
+    )

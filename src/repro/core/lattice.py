@@ -1,0 +1,141 @@
+"""The data cube lattice (Figure 1a of the paper).
+
+Nodes are view identifiers; an edge runs from ``u`` (parent) down to ``v``
+(child) when ``v`` can be computed from ``u`` by aggregating along exactly
+one dimension (``v ⊂ u``, ``|v| = |u| - 1``).  The lattice for ``d``
+dimensions has ``2^d`` nodes arranged in ``d+1`` levels, level ``k`` holding
+the views with ``k`` attributes.
+
+The class also serves restricted lattices (a subset of views, as needed for
+``Di``-partitions and partial cubes): pass ``views=`` and parent/child
+relations are computed within the subset, with ``ancestors_of`` available
+for level-skipping edges in partial schedule trees.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.core.views import View, all_views, canonical_view, is_subset
+
+__all__ = ["Lattice"]
+
+
+class Lattice:
+    """A (possibly restricted) view lattice.
+
+    Parameters
+    ----------
+    d:
+        Number of dimensions of the raw data set.
+    views:
+        Optional subset of views to restrict to; defaults to all ``2^d``.
+    """
+
+    def __init__(self, d: int, views: Iterable[View] | None = None):
+        if d < 0:
+            raise ValueError(f"d must be >= 0, got {d}")
+        self.d = d
+        if views is None:
+            self.views = all_views(d)
+        else:
+            seen = set()
+            normed = []
+            for view in views:
+                view = canonical_view(view)
+                if view and max(view) >= d:
+                    raise ValueError(
+                        f"view {view} references dimension >= d={d}"
+                    )
+                if view not in seen:
+                    seen.add(view)
+                    normed.append(view)
+            self.views = sorted(normed, key=lambda v: (len(v), v))
+        self._view_set = set(self.views)
+        self._levels: dict[int, list[View]] = defaultdict(list)
+        for view in self.views:
+            self._levels[len(view)].append(view)
+
+    # -- membership / levels ------------------------------------------------
+
+    def __contains__(self, view: View) -> bool:
+        return canonical_view(view) in self._view_set
+
+    def __len__(self) -> int:
+        return len(self.views)
+
+    @property
+    def top_level(self) -> int:
+        """Highest populated level."""
+        return max(self._levels) if self._levels else 0
+
+    def level(self, k: int) -> list[View]:
+        """Views with exactly ``k`` attributes (may be empty)."""
+        return list(self._levels.get(k, []))
+
+    def levels(self) -> list[tuple[int, list[View]]]:
+        """All populated ``(k, views)`` pairs, ascending ``k``."""
+        return sorted((k, list(vs)) for k, vs in self._levels.items())
+
+    # -- lattice edges ---------------------------------------------------------
+
+    def children_of(self, view: View) -> list[View]:
+        """Views in the lattice obtainable from ``view`` by dropping one dim."""
+        view = canonical_view(view)
+        out = []
+        for drop in range(len(view)):
+            child = view[:drop] + view[drop + 1 :]
+            if child in self._view_set:
+                out.append(child)
+        return out
+
+    def parents_of(self, view: View) -> list[View]:
+        """Views in the lattice from which ``view`` is one aggregation away."""
+        view = canonical_view(view)
+        out = []
+        members = set(view)
+        for extra in range(self.d):
+            if extra in members:
+                continue
+            parent = canonical_view(view + (extra,))
+            if parent in self._view_set:
+                out.append(parent)
+        return out
+
+    def ancestors_of(self, view: View) -> list[View]:
+        """All proper supersets of ``view`` present in the lattice."""
+        view = canonical_view(view)
+        return [
+            u for u in self.views if len(u) > len(view) and is_subset(view, u)
+        ]
+
+    def descendants_of(self, view: View) -> list[View]:
+        """All proper subsets of ``view`` present in the lattice."""
+        view = canonical_view(view)
+        return [
+            v for v in self.views if len(v) < len(view) and is_subset(v, view)
+        ]
+
+    def edge_count(self) -> int:
+        """Number of one-step aggregation edges in the (restricted) lattice."""
+        return sum(len(self.children_of(view)) for view in self.views)
+
+    # -- convenience constructors ------------------------------------------------
+
+    @staticmethod
+    def full(d: int) -> "Lattice":
+        """The complete ``2^d``-view lattice."""
+        return Lattice(d)
+
+    @staticmethod
+    def below(root: View, d: int) -> "Lattice":
+        """The sub-lattice of all subsets of ``root``."""
+        root = canonical_view(root)
+        views = [
+            tuple(c)
+            for k in range(len(root) + 1)
+            for c in combinations(root, k)
+        ]
+        return Lattice(d, views)

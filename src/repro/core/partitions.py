@@ -1,0 +1,90 @@
+"""``Di``-partitions of the data cube (Figure 3 of the paper).
+
+With dimensions ordered by non-increasing cardinality, ``Si ⊂ S`` is the
+set of view identifiers *starting with* ``Di`` — i.e. views that contain
+``Di`` and no dimension of smaller index.  The ``Di``-root is the view over
+all dimensions appearing in ``Si``'s views, namely ``(Di, Di+1, ..., Dd-1)``.
+
+The partitions tile the full cube::
+
+    d = 4:  A-partition {ABCD, ABC, ABD, ACD, AB, AC, AD, A}   root ABCD
+            B-partition {BCD, BC, BD, B}                        root BCD
+            C-partition {CD, C}                                 root CD
+            D-partition {D}                                      root D
+
+The ALL view (empty identifier) starts with no dimension; following the
+paper's Figure 3 (which draws it below the D-partition) we attach it to the
+last partition, where it is one scan away from ``(Dd-1,)``.
+
+For partial cubes the same partitioning applies to the *selected* subset
+``S``; a partition may then be empty and is skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.views import View, all_views, canonical_view
+
+__all__ = ["partition_index", "partition_root", "partition_views", "partition_all"]
+
+
+def partition_index(view: View, d: int) -> int:
+    """Index ``i`` of the partition that owns ``view``.
+
+    The ALL view belongs to partition ``d-1`` by convention (see module
+    docstring).
+    """
+    view = canonical_view(view)
+    if view and max(view) >= d:
+        raise ValueError(f"view {view} out of range for d={d}")
+    if not view:
+        if d == 0:
+            raise ValueError("d=0 has no partitions")
+        return d - 1
+    return view[0]
+
+
+def partition_root(i: int, d: int) -> View:
+    """The ``Di``-root: view over dimensions ``i..d-1``."""
+    if not 0 <= i < d:
+        raise ValueError(f"partition index {i} out of range for d={d}")
+    return tuple(range(i, d))
+
+
+def partition_views(
+    i: int, d: int, selected: Iterable[View] | None = None
+) -> list[View]:
+    """Views of the ``Di``-partition, largest first.
+
+    Parameters
+    ----------
+    i, d:
+        Partition index and dimensionality.
+    selected:
+        Restrict to this set of selected views (partial cube).  ``None``
+        means the full cube.  The partition root is *not* implicitly added;
+        callers that need it as a computation source handle that
+        (see :mod:`repro.core.partial`).
+    """
+    if selected is None:
+        pool: Sequence[View] = all_views(d)
+    else:
+        pool = [canonical_view(v) for v in selected]
+    out = [v for v in pool if partition_index(v, d) == i]
+    out.sort(key=lambda v: (-len(v), v))
+    return out
+
+
+def partition_all(
+    d: int, selected: Iterable[View] | None = None
+) -> list[tuple[int, View, list[View]]]:
+    """All non-empty partitions as ``(i, root, views)``, ascending ``i``."""
+    if selected is not None:
+        selected = [canonical_view(v) for v in selected]
+    out = []
+    for i in range(d):
+        views = partition_views(i, d, selected)
+        if views:
+            out.append((i, partition_root(i, d), views))
+    return out

@@ -1,0 +1,124 @@
+"""Structural validation of a constructed cube.
+
+A :class:`~repro.core.cube.CubeResult` promises several invariants
+(DESIGN.md §6).  :func:`validate_cube` checks them all and returns a
+report; it is what a downstream user runs after ingesting a cube from an
+untrusted pipeline, and what several integration tests delegate to.
+
+Checked invariants:
+
+* every view identifier is canonical and within the dimensionality;
+* per-rank pieces are sorted under their declared orders;
+* no group-by key appears on more than one rank (full agglomeration);
+* each view's aggregate is consistent with the cube's aggregate
+  (for SUM: every view reproduces the grand total);
+* monotone containment: a view never has more rows than key-space or
+  parent capacity allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cube import CubeResult
+from repro.core.views import view_name
+
+__all__ = ["ValidationReport", "validate_cube"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one validation pass."""
+
+    ok: bool = True
+    errors: list[str] = field(default_factory=list)
+    views_checked: int = 0
+
+    def fail(self, message: str) -> None:
+        self.ok = False
+        self.errors.append(message)
+
+    def describe(self) -> str:
+        if self.ok:
+            return f"cube valid: {self.views_checked} views checked"
+        head = (
+            f"cube INVALID: {len(self.errors)} problem(s) across "
+            f"{self.views_checked} views"
+        )
+        return "\n".join([head] + [f"  - {e}" for e in self.errors[:20]])
+
+
+def validate_cube(cube: CubeResult, deep: bool = True) -> ValidationReport:
+    """Check a cube's structural invariants.
+
+    ``deep=False`` skips the cross-rank key-uniqueness scan (the costly
+    part) and checks only per-rank structure.
+    """
+    report = ValidationReport()
+    d = len(cube.cardinalities)
+    grand_total = None
+
+    # Union across ranks: a view missing from only some ranks must still
+    # be visited (and flagged), so rank 0's key set alone is not enough.
+    all_views_present = sorted(
+        {v for rank_views in cube.rank_views for v in rank_views},
+        key=lambda v: (len(v), v),
+    )
+    for view in all_views_present:
+        name = view_name(view)
+        report.views_checked += 1
+        if tuple(sorted(set(view))) != view or (view and max(view) >= d):
+            report.fail(f"{name}: non-canonical or out-of-range identifier")
+            continue
+
+        space = 1
+        for dim in view:
+            space *= cube.cardinalities[dim]
+
+        total_rows = 0
+        measure_total = 0.0
+        all_keys = []
+        for rank, rank_views in enumerate(cube.rank_views):
+            data = rank_views.get(view)
+            if data is None:
+                report.fail(f"{name}: missing on rank {rank}")
+                continue
+            if set(data.order) != set(view):
+                report.fail(
+                    f"{name}: rank {rank} order {data.order} does not "
+                    "cover the view"
+                )
+                continue
+            if not data.is_sorted():
+                report.fail(f"{name}: rank {rank} piece is not sorted")
+            if data.nrows and (
+                data.keys.min() < 0 or data.keys.max() >= space
+            ):
+                report.fail(f"{name}: rank {rank} keys outside key space")
+            total_rows += data.nrows
+            measure_total += float(data.measure.sum())
+            if deep:
+                all_keys.append(data.keys)
+
+        if total_rows > space:
+            report.fail(
+                f"{name}: {total_rows} rows exceed key space {space}"
+            )
+        if deep and all_keys:
+            keys = np.concatenate(all_keys)
+            if np.unique(keys).size != keys.size:
+                report.fail(f"{name}: duplicate group keys across ranks")
+
+        if cube.agg == "sum":
+            if grand_total is None:
+                grand_total = measure_total
+            elif not np.isclose(
+                measure_total, grand_total, rtol=1e-9, atol=1e-6
+            ):
+                report.fail(
+                    f"{name}: measure total {measure_total!r} != grand "
+                    f"total {grand_total!r}"
+                )
+    return report

@@ -1,0 +1,97 @@
+"""In-flight representation of a materialised view on one processor.
+
+A view's rows live as **packed int64 keys** (see
+:class:`repro.storage.codec.KeyCodec`) under the view's *sort order* — the
+attribute permutation its schedule-tree pipeline produced — plus the
+aggregated measure.  Keys keep every sort/merge/search in fast 1-D NumPy;
+dimension columns are unpacked only at materialisation.
+
+The order tuple lists raw-dataset dimension indices, most significant
+first.  Two ranks holding the same view under the same (global) schedule
+tree share the same order, which is precisely why the paper's global-tree
+variant can merge without re-sorting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.views import View, canonical_view
+from repro.storage.codec import KeyCodec
+from repro.storage.table import Relation
+
+__all__ = ["ViewData", "codec_for_order"]
+
+
+def codec_for_order(
+    order: Sequence[int], cardinalities: Sequence[int]
+) -> KeyCodec:
+    """Key codec for an attribute permutation over the global dims."""
+    return KeyCodec([cardinalities[i] for i in order])
+
+
+@dataclass
+class ViewData:
+    """One rank's piece of one view."""
+
+    #: Attribute permutation (raw-dataset dimension indices).
+    order: tuple[int, ...]
+    #: Packed keys under ``codec_for_order(order, cards)``; sorted
+    #: non-decreasing once the view is fully built.
+    keys: np.ndarray
+    #: Aggregated measure, parallel to ``keys``.
+    measure: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.order = tuple(int(i) for i in self.order)
+        self.keys = np.asarray(self.keys, dtype=np.int64)
+        self.measure = np.asarray(self.measure, dtype=np.float64)
+        if self.keys.shape != self.measure.shape or self.keys.ndim != 1:
+            raise ValueError(
+                f"keys {self.keys.shape} / measure {self.measure.shape} "
+                "must be parallel 1-D arrays"
+            )
+
+    @property
+    def view(self) -> View:
+        """The canonical view identifier this data belongs to."""
+        return canonical_view(self.order)
+
+    @property
+    def nrows(self) -> int:
+        return self.keys.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        """Wire/storage size (used by the traffic meters)."""
+        return self.keys.nbytes + self.measure.nbytes
+
+    def is_sorted(self) -> bool:
+        return bool(np.all(self.keys[1:] >= self.keys[:-1]))
+
+    @staticmethod
+    def empty(order: Sequence[int]) -> "ViewData":
+        return ViewData(
+            tuple(order),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+
+    def to_relation(self, cardinalities: Sequence[int]) -> Relation:
+        """Materialise as a relation with columns in canonical view order.
+
+        The packed keys are unpacked under this view's order permutation,
+        then columns are rearranged to the canonical identifier order
+        (ascending dimension index = descending cardinality).
+        """
+        codec = codec_for_order(self.order, cardinalities)
+        dims = codec.unpack(self.keys)
+        canon = self.view
+        col_of = {dim: pos for pos, dim in enumerate(self.order)}
+        if len(canon) != len(self.order):
+            raise ValueError(f"order {self.order} repeats a dimension")
+        cols = [col_of[dim] for dim in canon]
+        return Relation(dims[:, cols] if cols else dims, self.measure)

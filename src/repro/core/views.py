@@ -1,0 +1,89 @@
+"""View identifiers.
+
+A *view* of a ``d``-dimensional raw data set is the aggregation along a
+subset of the dimensions.  Following the paper, dimensions are indexed
+``0..d-1`` in order of non-increasing cardinality (``|D0| >= |D1| >= ...``),
+and a view identifier lists its dimension indices in that same order —
+"ordered by the cardinalities of the selected dimensions (in decreasing
+order)".
+
+We represent a view as a **tuple of strictly increasing dimension indices**
+(``()`` is the ALL view).  Because the dimension indexing is already the
+cardinality order, increasing-index tuples *are* the paper's canonical
+identifiers.  A view's *sort order* inside a schedule tree may permute these
+attributes; such orders are separate permutation tuples (see
+:mod:`repro.core.pipesort`).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+__all__ = [
+    "View",
+    "all_views",
+    "canonical_view",
+    "is_prefix",
+    "is_subset",
+    "view_name",
+    "parse_view_name",
+]
+
+#: A view identifier: strictly increasing dimension indices.
+View = tuple[int, ...]
+
+_LETTERS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def canonical_view(dims: Iterable[int]) -> View:
+    """Normalise any iterable of dimension indices into a view identifier."""
+    view = tuple(sorted(set(int(i) for i in dims)))
+    if any(i < 0 for i in view):
+        raise ValueError(f"negative dimension index in {view}")
+    return view
+
+
+def all_views(d: int) -> list[View]:
+    """All ``2^d`` view identifiers for ``d`` dimensions, by level then lex."""
+    if d < 0:
+        raise ValueError(f"d must be >= 0, got {d}")
+    out: list[View] = []
+    for level in range(d + 1):
+        out.extend(combinations(range(d), level))
+    return out
+
+
+def is_subset(v: View, u: View) -> bool:
+    """True iff view ``v`` can be computed from view ``u`` (``v ⊆ u``)."""
+    return set(v) <= set(u)
+
+
+def is_prefix(v: Sequence[int], u: Sequence[int]) -> bool:
+    """True iff attribute order ``v`` is a prefix of attribute order ``u``.
+
+    Operates on *order* tuples (permutations), not on identifier sets: a
+    prefix child can be computed from its parent by a single linear scan.
+    """
+    return len(v) <= len(u) and tuple(u[: len(v)]) == tuple(v)
+
+
+def view_name(view: Sequence[int]) -> str:
+    """Human-readable name, e.g. ``(0, 2, 3) -> "ACD"``; ALL for ``()``."""
+    if len(view) == 0:
+        return "ALL"
+    if max(view) < len(_LETTERS):
+        return "".join(_LETTERS[i] for i in view)
+    return "(" + ",".join(f"D{i}" for i in view) + ")"
+
+
+def parse_view_name(name: str) -> View:
+    """Inverse of :func:`view_name` for letter names (test convenience)."""
+    if name == "ALL":
+        return ()
+    indices = []
+    for ch in name:
+        if ch not in _LETTERS:
+            raise ValueError(f"cannot parse view name {name!r}")
+        indices.append(_LETTERS.index(ch))
+    return canonical_view(indices)

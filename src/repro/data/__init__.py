@@ -1,0 +1,12 @@
+"""Synthetic data generation matching the paper's experimental setup.
+
+Data sets are parameterised by ``n`` (rows), ``d`` (dimensions), per-
+dimension cardinalities ``|Di|`` and per-dimension Zipf skews ``αi``
+(Section 4: "we generated a large number of synthetic data sets which
+varied in terms of ... n, d, |D0|..|Dd-1|, and α0..αd-1").
+"""
+
+from repro.data.generator import DatasetSpec, generate_dataset, paper_preset
+from repro.data.zipf import zipf_sample
+
+__all__ = ["DatasetSpec", "generate_dataset", "paper_preset", "zipf_sample"]

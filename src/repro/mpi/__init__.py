@@ -1,0 +1,37 @@
+"""Simulated shared-nothing message-passing substrate.
+
+The paper runs on a Beowulf cluster under MPI/LAM.  Neither multi-node
+hardware nor mpi4py is available here, so this package provides an
+in-process SPMD runtime with MPI semantics:
+
+* :func:`repro.mpi.engine.run_spmd` spawns ``p`` rank threads, each running
+  the identical rank program against its own :class:`~repro.mpi.comm.Comm`
+  endpoint and its own private :class:`~repro.storage.disk.LocalDisk`.
+* Collectives — ``barrier``, ``bcast``, ``gather``, ``allgather``,
+  ``scatter``, ``alltoall`` (the paper's h-relation,
+  ``MPI_ALLTOALLV``), ``allreduce`` — run over shared mailboxes with the
+  blocking semantics of their MPI counterparts.
+* Every collective is a BSP superstep boundary: the
+  :class:`~repro.mpi.clock.BSPClock` advances simulated time by the maximum
+  per-rank segment cost (CPU + disk) plus an h-relation communication cost,
+  which is how this reproduction obtains cluster-like wall-clock and
+  speedup curves on a single host.
+* :class:`~repro.mpi.stats.CommStats` meters every byte crossing the
+  virtual network (needed verbatim for the paper's Figure 8b).
+"""
+
+from repro.mpi.clock import BSPClock
+from repro.mpi.comm import Comm
+from repro.mpi.engine import Cluster, run_spmd
+from repro.mpi.errors import MPIError, RankFailure
+from repro.mpi.stats import CommStats
+
+__all__ = [
+    "BSPClock",
+    "Cluster",
+    "Comm",
+    "CommStats",
+    "MPIError",
+    "RankFailure",
+    "run_spmd",
+]

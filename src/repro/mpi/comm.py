@@ -1,0 +1,218 @@
+"""Rank-side communicator endpoint of the simulated cluster.
+
+Every collective here is blocking and must be called by *all* ranks in the
+same order — the same contract real MPI imposes on the paper's code.  Each
+call is one BSP superstep: the rank's local work since the previous
+collective is snapshotted into the cluster clock, payloads are exchanged
+through shared mailboxes, and the barrier action (see
+:mod:`repro.mpi.engine`) advances simulated time and the traffic meters.
+
+Payloads are ordinary Python objects; NumPy arrays and
+:class:`~repro.storage.table.Relation` values travel by reference (the
+simulation shares one address space) but are metered at their buffer size,
+matching the buffer-protocol fast path of mpi4py.  Rank code must treat
+received arrays as read-only or copy them, exactly as it would after a real
+``MPI_Recv``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.mpi.errors import CollectiveMisuse, MPIError, RankFailure
+from repro.mpi.stats import payload_nbytes
+
+__all__ = ["Comm"]
+
+#: Upper bound on how long one rank waits for its peers before the run is
+#: declared wedged.  Generous: the whole benchmark suite runs in minutes.
+BARRIER_TIMEOUT_SEC = 600.0
+
+
+class Comm:
+    """One rank's view of the cluster (constructed by the engine)."""
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        slots: list,
+        enter: threading.Barrier,
+        leave: threading.Barrier,
+        clock,
+        stats,
+        disk,
+    ):
+        self.rank = rank
+        self.size = size
+        self._slots = slots
+        self._enter = enter
+        self._leave = leave
+        self.clock = clock
+        self.stats = stats
+        self.disk = disk
+
+    # -- phase labelling --------------------------------------------------
+
+    def set_phase(self, phase: str) -> None:
+        """Label subsequent supersteps for time/traffic attribution."""
+        self.clock.set_phase(
+            self.rank,
+            phase,
+            io_blocks=self.disk.stats.blocks_total,
+            work_seconds=self.disk.work.seconds,
+        )
+
+    # -- superstep plumbing -------------------------------------------------
+
+    def _wait(self, barrier: threading.Barrier) -> None:
+        try:
+            barrier.wait(timeout=BARRIER_TIMEOUT_SEC)
+        except threading.BrokenBarrierError:
+            raise RankFailure(
+                f"rank {self.rank}: a peer rank aborted the computation"
+            ) from None
+
+    def _exchange(
+        self,
+        kind: str,
+        payload: Any,
+        send_row: np.ndarray,
+        reader: Callable[[list], Any],
+    ) -> Any:
+        """Run one collective superstep and return this rank's result."""
+        self.clock.mark_segment(
+            self.rank, self.disk.stats.blocks_total, self.disk.work.seconds
+        )
+        self._slots[self.rank] = (payload, send_row, kind)
+        self._wait(self._enter)  # barrier action meters + advances the clock
+        try:
+            result = reader([slot[0] for slot in self._slots])
+        finally:
+            self._wait(self._leave)  # everyone done reading; slots reusable
+        return result
+
+    def _zeros(self) -> np.ndarray:
+        return np.zeros(self.size, dtype=np.int64)
+
+    # -- collectives -------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Synchronise all ranks (superstep boundary with no traffic)."""
+        self._exchange("barrier", None, self._zeros(), lambda slots: None)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root``; every rank returns the value."""
+        self._check_root(root)
+        row = self._zeros()
+        payload = None
+        if self.rank == root:
+            payload = obj
+            nbytes = payload_nbytes(obj)
+            row[:] = nbytes
+            row[root] = 0
+        return self._exchange("bcast", payload, row, lambda slots: slots[root])
+
+    def gather(self, obj: Any, root: int = 0) -> list | None:
+        """Gather one value per rank at ``root`` (others get ``None``)."""
+        self._check_root(root)
+        row = self._zeros()
+        if self.rank != root:
+            row[root] = payload_nbytes(obj)
+        reader = (
+            (lambda slots: list(slots))
+            if self.rank == root
+            else (lambda slots: None)
+        )
+        return self._exchange("gather", obj, row, reader)
+
+    def allgather(self, obj: Any) -> list:
+        """Gather one value per rank at every rank."""
+        row = self._zeros()
+        row[:] = payload_nbytes(obj)
+        row[self.rank] = 0
+        return self._exchange("allgather", obj, row, list)
+
+    def scatter(self, values: Sequence[Any] | None, root: int = 0) -> Any:
+        """Distribute ``values[k]`` from ``root`` to rank ``k``."""
+        self._check_root(root)
+        row = self._zeros()
+        payload = None
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise CollectiveMisuse(
+                    "scatter at root needs exactly one value per rank, got "
+                    f"{None if values is None else len(values)}"
+                )
+            payload = list(values)
+            for k, val in enumerate(payload):
+                if k != root:
+                    row[k] = payload_nbytes(val)
+        rank = self.rank
+        return self._exchange(
+            "scatter", payload, row, lambda slots: slots[root][rank]
+        )
+
+    def alltoall(self, lanes: Sequence[Any]) -> list:
+        """The h-relation: rank ``j`` sends ``lanes[k]`` to rank ``k``.
+
+        Returns the list of ``size`` payloads addressed to this rank
+        (indexed by source rank).  This is the simulation's
+        ``MPI_ALLTOALLV``; lanes may be ``None`` / empty arrays.
+        """
+        if len(lanes) != self.size:
+            raise CollectiveMisuse(
+                f"alltoall needs {self.size} lanes, got {len(lanes)}"
+            )
+        row = np.fromiter(
+            (payload_nbytes(lane) for lane in lanes),
+            dtype=np.int64,
+            count=self.size,
+        )
+        row[self.rank] = 0 if lanes[self.rank] is None else row[self.rank]
+        rank = self.rank
+        return self._exchange(
+            "alltoall",
+            list(lanes),
+            row,
+            lambda slots: [slots[j][rank] for j in range(len(slots))],
+        )
+
+    def allreduce(self, value: float, op: str = "sum") -> float:
+        """All-reduce a scalar with ``sum``/``max``/``min``."""
+        values = self.allgather(float(value))
+        if op == "sum":
+            return float(sum(values))
+        if op == "max":
+            return float(max(values))
+        if op == "min":
+            return float(min(values))
+        raise CollectiveMisuse(f"unsupported allreduce op: {op!r}")
+
+    def sendrecv_left(self, obj: Any) -> Any:
+        """Every rank sends ``obj`` to rank-1 and receives rank+1's value.
+
+        Rank 0 sends nothing; the last rank receives ``None``.  Implemented
+        as one sparse h-relation (the paper's case-1 boundary exchange).
+        """
+        lanes: list[Any] = [None] * self.size
+        if self.rank > 0:
+            lanes[self.rank - 1] = obj
+        received = self.alltoall(lanes)
+        if self.rank < self.size - 1:
+            return received[self.rank + 1]
+        return None
+
+    # -- misc -------------------------------------------------------------
+
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self.size:
+            raise CollectiveMisuse(
+                f"root {root} out of range for {self.size} ranks"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Comm(rank={self.rank}, size={self.size})"

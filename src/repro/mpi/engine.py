@@ -1,0 +1,219 @@
+"""SPMD execution engine for the simulated shared-nothing cluster.
+
+:func:`run_spmd` is the ``mpiexec`` of this reproduction: it spawns ``p``
+rank threads, each executing the *same* rank program against its own
+communicator endpoint and private local disk, waits for completion, and
+returns per-rank results together with the BSP clock and traffic meters.
+
+Failure semantics: if any rank raises, both mailbox barriers are broken so
+every peer unblocks with :class:`~repro.mpi.errors.RankFailure`; the engine
+then re-raises the originating exception to the caller.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.config import MachineSpec
+from repro.mpi.clock import BSPClock
+from repro.mpi.comm import Comm
+from repro.mpi.errors import CollectiveMisuse, MPIError, RankFailure
+from repro.mpi.stats import CommStats
+from repro.storage.disk import LocalDisk, WorkMeter
+
+__all__ = ["Cluster", "ClusterResult", "run_spmd"]
+
+#: Hard ceiling on virtual processors: beyond this the one-host simulation
+#: stops being meaningful (thread scheduling noise dominates).
+MAX_RANKS = 64
+
+
+@dataclass
+class ClusterResult:
+    """Everything a finished SPMD run produced."""
+
+    #: Per-rank return values of the rank program.
+    rank_results: list
+    #: The BSP clock (simulated wall-clock, per-phase breakdown, log).
+    clock: BSPClock
+    #: Network traffic meters.
+    stats: CommStats
+    #: Per-rank local disks (for I/O accounting inspection).
+    disks: list[LocalDisk]
+    #: Real host seconds the simulation took.
+    host_seconds: float = 0.0
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.clock.sim_time
+
+    def total_disk_blocks(self) -> int:
+        return sum(d.stats.blocks_total for d in self.disks)
+
+
+class Cluster:
+    """A reusable virtual cluster: mailboxes, clock, meters, disks."""
+
+    def __init__(
+        self,
+        spec: MachineSpec,
+        disk_root: str | None = None,
+    ):
+        if not 1 <= spec.p <= MAX_RANKS:
+            raise MPIError(
+                f"processor count {spec.p} outside supported range "
+                f"1..{MAX_RANKS}"
+            )
+        self.spec = spec
+        self.clock = BSPClock(spec)
+        self.stats = CommStats()
+        self.disks = [
+            LocalDisk(
+                spec.block_size,
+                root=None
+                if disk_root is None
+                else os.path.join(disk_root, f"rank{j:02d}"),
+                work=WorkMeter(
+                    spec.sort_sec_per_row_level, spec.scan_sec_per_row
+                ),
+            )
+            for j in range(spec.p)
+        ]
+        self._slots: list = [None] * spec.p
+        self._action_error: BaseException | None = None
+        self._enter = threading.Barrier(spec.p, action=self._safe_action)
+        self._leave = threading.Barrier(spec.p)
+
+    def _safe_action(self) -> None:
+        try:
+            self._superstep_action()
+        except BaseException as exc:  # noqa: BLE001 - must break the barrier
+            self._action_error = exc
+            raise
+
+    # -- superstep commit (runs in exactly one thread per superstep) --------
+
+    def _superstep_action(self) -> None:
+        kinds = {slot[2] for slot in self._slots}
+        if len(kinds) > 1:
+            # Mismatched collectives are undefined behaviour under MPI;
+            # raising here breaks the barrier so every rank aborts loudly
+            # instead of silently mixing payloads.
+            raise CollectiveMisuse(
+                f"ranks disagree on the collective: {sorted(kinds)}"
+            )
+        rows = [slot[1] for slot in self._slots]
+        kind = self._slots[0][2]
+        matrix = np.vstack(rows) if rows else np.zeros((0, 0), dtype=np.int64)
+        total, max_rank = self.stats.record(
+            kind, self.clock._phase[0], matrix
+        )
+        self.clock.commit_superstep(kind, total, max_rank)
+
+    # -- running -------------------------------------------------------------
+
+    def comm(self, rank: int) -> Comm:
+        """Communicator endpoint for ``rank`` (used by tests directly)."""
+        return Comm(
+            rank,
+            self.spec.p,
+            self._slots,
+            self._enter,
+            self._leave,
+            self.clock,
+            self.stats,
+            self.disks[rank],
+        )
+
+    def run(
+        self,
+        rank_program: Callable[..., Any],
+        args: Sequence[Any] = (),
+    ) -> ClusterResult:
+        """Execute ``rank_program(comm, *args)`` on every rank."""
+        p = self.spec.p
+        results: list = [None] * p
+        finals: list[float] = [0.0] * p
+        errors: list[BaseException | None] = [None] * p
+        t0 = time.perf_counter()
+
+        def worker(rank: int) -> None:
+            comm = self.comm(rank)
+            self.clock.rank_start(
+                rank,
+                self.disks[rank].stats.blocks_total,
+                self.disks[rank].work.seconds,
+            )
+            try:
+                results[rank] = rank_program(comm, *args)
+                # Fold in the tail segment after the last collective.
+                self.clock.mark_segment(
+                    rank,
+                    self.disks[rank].stats.blocks_total,
+                    self.disks[rank].work.seconds,
+                )
+                finals[rank] = self.clock._pending_segment[rank]
+                self.clock._pending_segment[rank] = 0.0
+            except BaseException as exc:  # noqa: BLE001 - must not hang peers
+                errors[rank] = exc
+                self._enter.abort()
+                self._leave.abort()
+
+        threads = [
+            threading.Thread(
+                target=worker, args=(j,), name=f"rank-{j}", daemon=True
+            )
+            for j in range(p)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        if self._action_error is not None:
+            raise self._action_error
+        origin = next(
+            (e for e in errors if e is not None and not isinstance(e, RankFailure)),
+            None,
+        )
+        if origin is not None:
+            raise origin
+        if any(errors):
+            raise next(e for e in errors if e is not None)
+
+        self.clock.finish(finals)
+        return ClusterResult(
+            rank_results=results,
+            clock=self.clock,
+            stats=self.stats,
+            disks=self.disks,
+            host_seconds=time.perf_counter() - t0,
+        )
+
+
+def run_spmd(
+    rank_program: Callable[..., Any],
+    spec: MachineSpec,
+    args: Sequence[Any] = (),
+    disk_root: str | None = None,
+) -> ClusterResult:
+    """Spawn a fresh virtual cluster and run one SPMD program on it.
+
+    Parameters
+    ----------
+    rank_program:
+        ``fn(comm, *args)`` executed identically on every rank.
+    spec:
+        Machine description (rank count, cost-model parameters).
+    args:
+        Extra positional arguments passed to every rank.
+    disk_root:
+        Directory for real spill files; ``None`` keeps disks in memory.
+    """
+    return Cluster(spec, disk_root=disk_root).run(rank_program, args)

@@ -1,0 +1,23 @@
+"""Error types of the simulated MPI runtime."""
+
+from __future__ import annotations
+
+__all__ = ["MPIError", "RankFailure", "CollectiveMisuse"]
+
+
+class MPIError(RuntimeError):
+    """Base class for simulated-MPI failures."""
+
+
+class RankFailure(MPIError):
+    """Raised in surviving ranks when a peer rank aborted the computation.
+
+    The engine re-raises the *originating* rank's exception to the caller;
+    ``RankFailure`` is only ever observed inside other rank threads (or by
+    the caller if the origin could not be identified).
+    """
+
+
+class CollectiveMisuse(MPIError):
+    """A collective was called with inconsistent arguments across ranks
+    (e.g. a scatter list of the wrong length, or mismatched roots)."""

@@ -1,0 +1,124 @@
+"""Network traffic metering for the simulated cluster.
+
+All updates happen inside the exchange barrier action, which runs in exactly
+one thread per superstep, so no locking is needed beyond the barrier itself.
+
+The headline quantity is :attr:`CommStats.total_bytes` — every byte that
+crossed between two distinct ranks — which reproduces the paper's
+"Data Communicated in Megabytes" axis (Figure 8b).  Totals are also broken
+down by collective kind and by algorithm phase.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["CommStats", "payload_nbytes"]
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Approximate wire size of a payload in bytes.
+
+    NumPy arrays and Relations report their buffer sizes (the fast
+    buffer-protocol path of real MPI); small control objects fall back to
+    their pickle length (the mpi4py object path).
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    nbytes = getattr(obj, "nbytes", None)
+    if isinstance(nbytes, (int, np.integer)):
+        return int(nbytes)
+    if isinstance(obj, (tuple, list)):
+        return sum(payload_nbytes(item) for item in obj)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (bool, int, float, np.integer, np.floating)):
+        return 8
+    if isinstance(obj, str):
+        return len(obj.encode())
+    if isinstance(obj, dict):
+        return sum(
+            payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items()
+        )
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        # Unpicklable control objects (only possible in the simulation;
+        # real MPI could not ship them either) — approximate.
+        return sys.getsizeof(obj)
+
+
+@dataclass
+class CommStats:
+    """Cumulative traffic counters for one cluster run."""
+
+    #: Bytes that crossed between distinct ranks, total.
+    total_bytes: int = 0
+    #: Number of collective operations performed.
+    collectives: int = 0
+    #: Bytes by collective kind ("alltoall", "bcast", ...).
+    bytes_by_kind: dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    #: Bytes by algorithm phase label.
+    bytes_by_phase: dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    #: Largest single-rank (in + out) volume seen in any one superstep.
+    peak_rank_bytes: int = 0
+
+    def record(
+        self,
+        kind: str,
+        phase: str,
+        send_matrix: np.ndarray,
+    ) -> tuple[int, int]:
+        """Record one collective.
+
+        Parameters
+        ----------
+        kind:
+            Collective name.
+        phase:
+            Current algorithm phase label.
+        send_matrix:
+            ``(p, p)`` array; ``send_matrix[j, k]`` = bytes rank ``j``
+            addressed to rank ``k``.  The diagonal (self-delivery) is
+            excluded from network accounting.
+
+        Returns
+        -------
+        ``(offrank_total, max_rank_bytes)`` where ``max_rank_bytes`` is the
+        busiest rank's in+out volume (the h-relation ``h``).
+        """
+        mat = np.asarray(send_matrix, dtype=np.int64)
+        offrank = mat.copy()
+        np.fill_diagonal(offrank, 0)
+        sent = offrank.sum(axis=1)
+        received = offrank.sum(axis=0)
+        total = int(offrank.sum())
+        max_rank = int((sent + received).max()) if mat.size else 0
+        self.total_bytes += total
+        self.collectives += 1
+        self.bytes_by_kind[kind] += total
+        self.bytes_by_phase[phase] += total
+        self.peak_rank_bytes = max(self.peak_rank_bytes, max_rank)
+        return total, max_rank
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict snapshot (deep-copied) of the counters."""
+        return {
+            "total_bytes": self.total_bytes,
+            "collectives": self.collectives,
+            "bytes_by_kind": dict(self.bytes_by_kind),
+            "bytes_by_phase": dict(self.bytes_by_phase),
+            "peak_rank_bytes": self.peak_rank_bytes,
+        }

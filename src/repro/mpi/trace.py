@@ -1,0 +1,84 @@
+"""Superstep trace export and timeline rendering.
+
+Turns a finished run's :class:`~repro.mpi.clock.BSPClock` log into
+diagnostics: a JSON-serialisable trace (for external tooling) and a
+terminal timeline that shows where simulated time went, superstep by
+superstep — the "why is my cube build slow" tool.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.mpi.clock import BSPClock
+
+__all__ = ["render_timeline", "trace_to_json", "phase_summary"]
+
+
+def trace_to_json(clock: BSPClock) -> str:
+    """Serialise the superstep log (schema: list of superstep objects)."""
+    records: list[dict[str, Any]] = []
+    for step, rec in enumerate(clock.log):
+        records.append(
+            {
+                "step": step,
+                "kind": rec.kind,
+                "phase": rec.phase,
+                "compute_seconds": rec.compute_seconds,
+                "comm_seconds": rec.comm_seconds,
+                "offrank_bytes": rec.offrank_bytes,
+                "max_rank_bytes": rec.max_rank_bytes,
+            }
+        )
+    return json.dumps(
+        {
+            "simulated_seconds": clock.sim_time,
+            "compute_seconds": clock.compute_time,
+            "comm_seconds": clock.comm_time,
+            "supersteps": records,
+        },
+        indent=1,
+    )
+
+
+def phase_summary(clock: BSPClock) -> list[tuple[str, float, float, int]]:
+    """Per-phase ``(phase, compute_s, comm_s, supersteps)``, by time desc."""
+    agg: dict[str, list[float]] = {}
+    for rec in clock.log:
+        entry = agg.setdefault(rec.phase, [0.0, 0.0, 0])
+        entry[0] += rec.compute_seconds
+        entry[1] += rec.comm_seconds
+        entry[2] += 1
+    rows = [
+        (phase, vals[0], vals[1], int(vals[2]))
+        for phase, vals in agg.items()
+    ]
+    rows.sort(key=lambda row: -(row[1] + row[2]))
+    return rows
+
+
+def render_timeline(clock: BSPClock, width: int = 64) -> str:
+    """One bar per phase, compute (=) vs communication (~), to scale."""
+    rows = phase_summary(clock)
+    total = sum(compute + comm for _, compute, comm, _ in rows) or 1.0
+    name_w = max((len(r[0]) for r in rows), default=5)
+    lines = [
+        f"simulated {clock.sim_time:.2f}s over {clock.superstep_count()} "
+        f"supersteps ({clock.comm_fraction():.0%} communication)"
+    ]
+    for phase, compute, comm, steps in rows:
+        share = (compute + comm) / total
+        bar_len = max(1, round(share * width))
+        comm_len = (
+            round(bar_len * comm / (compute + comm))
+            if compute + comm > 0
+            else 0
+        )
+        bar = "=" * (bar_len - comm_len) + "~" * comm_len
+        lines.append(
+            f"  {phase.ljust(name_w)} |{bar.ljust(width)}| "
+            f"{compute + comm:7.3f}s  ({steps} steps)"
+        )
+    lines.append("  (= compute/disk, ~ network)")
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""What-if machine projection from a finished run's superstep log.
+
+Every modelled quantity of a run is recorded per superstep (local-work
+seconds, h-relation byte volumes), so a finished build can be *re-costed*
+under a different machine without re-running it.  This answers the
+paper's own forward-looking claim directly — "We will shortly be
+replacing our 100 Megabyte interconnect with a 1 Gigabyte Ethernet
+interconnect and expect that this will further improve the relative
+speedup results" (Section 4) — and the general capacity-planning question
+"what does a faster network/switch buy my workload?".
+
+Only network parameters can be re-projected exactly: the log keeps each
+superstep's ``max_rank_bytes``, so ``latency + β·h`` recomputes precisely.
+Local work (CPU + disk) is kept as measured; changing those knobs needs a
+re-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import MachineSpec
+from repro.mpi.clock import BSPClock
+
+__all__ = ["NetworkProjection", "gigabit_upgrade", "recost_cube", "recost_network"]
+
+
+@dataclass
+class NetworkProjection:
+    """A run re-costed under a different network."""
+
+    measured_seconds: float
+    projected_seconds: float
+    measured_comm_seconds: float
+    projected_comm_seconds: float
+    supersteps: int
+
+    @property
+    def speedup_gain(self) -> float:
+        """measured / projected (>1 when the new network is faster)."""
+        if self.projected_seconds <= 0:
+            return 1.0
+        return self.measured_seconds / self.projected_seconds
+
+    def describe(self) -> str:
+        return (
+            f"network projection over {self.supersteps} supersteps: "
+            f"{self.measured_seconds:.2f}s -> {self.projected_seconds:.2f}s "
+            f"(comm {self.measured_comm_seconds:.2f}s -> "
+            f"{self.projected_comm_seconds:.2f}s, "
+            f"{self.speedup_gain:.2f}x)"
+        )
+
+
+def recost_network(clock: BSPClock, new_spec: MachineSpec) -> NetworkProjection:
+    """Re-price every superstep's communication under ``new_spec``.
+
+    Requires the run to have kept its full superstep log (all runs in
+    this repository do, up to the 100k-superstep cap).
+    """
+    return _recost(clock.log, clock.sim_time, new_spec)
+
+
+def recost_cube(cube, new_spec: MachineSpec) -> NetworkProjection:
+    """Re-price a finished cube build (uses ``metrics.superstep_log``)."""
+    return _recost(
+        cube.metrics.superstep_log,
+        cube.metrics.simulated_seconds,
+        new_spec,
+    )
+
+
+def _recost(log, sim_time: float, new_spec: MachineSpec) -> NetworkProjection:
+    measured_comm = 0.0
+    projected_comm = 0.0
+    compute = 0.0
+    for rec in log:
+        measured_comm += rec.comm_seconds
+        projected_comm += new_spec.comm_cost(rec.max_rank_bytes)
+        compute += rec.compute_seconds
+    # The tail segment after the final collective is in sim_time but not
+    # in the log; carry it over unchanged.
+    tail = sim_time - (compute + measured_comm)
+    return NetworkProjection(
+        measured_seconds=sim_time,
+        projected_seconds=compute + projected_comm + tail,
+        measured_comm_seconds=measured_comm,
+        projected_comm_seconds=projected_comm,
+        supersteps=len(log),
+    )
+
+
+def gigabit_upgrade(spec: MachineSpec) -> MachineSpec:
+    """The paper's announced hardware refresh: 100 Mbit -> 1 Gbit switch.
+
+    Bandwidth improves tenfold; per-collective latency also drops (better
+    switching silicon), conservatively halved.
+    """
+    from dataclasses import replace
+
+    return replace(
+        spec,
+        beta_sec_per_mb=spec.beta_sec_per_mb / 10.0,
+        latency_sec=spec.latency_sec / 2.0,
+    )

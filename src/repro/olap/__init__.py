@@ -1,0 +1,32 @@
+"""OLAP query layer over a constructed data cube.
+
+The paper's point of building the cube is "the fast execution of
+subsequent OLAP queries": a GROUP-BY becomes a lookup in the smallest
+materialised view that covers it.  This package supplies that downstream
+surface:
+
+* :mod:`repro.olap.query` — query objects, the view-selection planner
+  (smallest covering view), and a query engine that answers group-bys
+  either from the gathered cube or *in parallel* across the virtual
+  cluster, which makes the paper's balance argument measurable: each
+  view's per-rank distribution bounds parallel scan latency.
+* :mod:`repro.olap.store` — persist a built cube to disk (one spill file
+  per rank per view plus a manifest) and reopen it later.
+* :mod:`repro.olap.advisor` — greedy view selection (the paper's
+  reference [12], Harinarayan-Rajaraman-Ullman) that produces the
+  ``selected`` set a partial cube build consumes.
+"""
+
+from repro.olap.advisor import AdvisorResult, select_views
+from repro.olap.query import Query, QueryEngine, QueryPlan, QueryPlanner
+from repro.olap.store import CubeStore
+
+__all__ = [
+    "AdvisorResult",
+    "CubeStore",
+    "Query",
+    "QueryEngine",
+    "QueryPlan",
+    "QueryPlanner",
+    "select_views",
+]

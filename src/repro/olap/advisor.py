@@ -1,0 +1,151 @@
+"""Greedy view selection for partial cubes (Harinarayan-Rajaraman-Ullman).
+
+The paper's partial cubes (Section 3) assume the user supplies the
+selected view set.  Where does that set come from?  The classic answer —
+from the paper's own reference [12], "Implementing data cubes
+efficiently" — is the greedy benefit algorithm: starting from the raw
+view, repeatedly materialise the view with the highest *benefit per unit
+space*, where a view's benefit is the total query-cost reduction it gives
+every view in the workload's closure.
+
+:func:`select_views` implements that algorithm over this repository's
+size estimates and hands back a set ready for
+:func:`repro.core.cube.build_partial_cube`.
+
+Cost model (HRU's): answering a group-by costs the row count of the
+smallest materialised ancestor view.  Before anything is selected every
+query pays the raw data set's size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.views import View, canonical_view, is_subset, view_name
+
+__all__ = ["AdvisorResult", "select_views", "workload_cost"]
+
+
+@dataclass
+class AdvisorResult:
+    """Outcome of one greedy selection run."""
+
+    #: Views chosen, in selection order (the raw view is implicit).
+    selected: list[View]
+    #: Estimated total workload cost before any selection.
+    base_cost: float
+    #: Estimated total workload cost with the selection materialised.
+    final_cost: float
+    #: Per-step log: (view, benefit, benefit_per_row).
+    steps: list[tuple[View, float, float]] = field(default_factory=list)
+
+    @property
+    def saving(self) -> float:
+        return self.base_cost - self.final_cost
+
+    def describe(self) -> str:
+        lines = [
+            f"selected {len(self.selected)} views, workload cost "
+            f"{self.base_cost:,.0f} -> {self.final_cost:,.0f} rows scanned "
+            f"({self.saving / max(self.base_cost, 1e-9):.0%} saved)"
+        ]
+        for view, benefit, per_row in self.steps:
+            lines.append(
+                f"  + {view_name(view):10s} benefit {benefit:12,.0f}"
+                f"  ({per_row:8.2f} per stored row)"
+            )
+        return "\n".join(lines)
+
+
+def workload_cost(
+    workload: Sequence[View],
+    materialised: Sequence[View],
+    sizes: Mapping[View, float],
+    top: View,
+) -> float:
+    """HRU cost: each query scans its smallest materialised ancestor."""
+    total = 0.0
+    for query in workload:
+        candidates = [
+            sizes[v]
+            for v in materialised
+            if is_subset(query, v)
+        ]
+        candidates.append(sizes[top])
+        total += min(candidates)
+    return total
+
+
+def select_views(
+    workload: Sequence[View],
+    sizes: Mapping[View, float],
+    budget_rows: float | None = None,
+    max_views: int | None = None,
+) -> AdvisorResult:
+    """Pick views to materialise for ``workload`` by greedy benefit.
+
+    Parameters
+    ----------
+    workload:
+        The group-bys the warehouse must answer (duplicates express
+        frequency: a query listed twice counts double).
+    sizes:
+        Estimated row counts per view; must contain every workload view,
+        every candidate, and the top view (the largest view present is
+        taken as the raw data set stand-in).
+    budget_rows:
+        Optional storage budget: stop when the next pick would exceed it.
+    max_views:
+        Optional cap on the number of selected views.
+
+    Returns
+    -------
+    :class:`AdvisorResult`; ``result.selected`` feeds
+    ``build_partial_cube`` (queries not covered by the selection fall
+    back to the raw view at query time).
+    """
+    sizes = {canonical_view(v): float(s) for v, s in sizes.items()}
+    workload = [canonical_view(v) for v in workload]
+    for query in workload:
+        if query not in sizes:
+            raise KeyError(f"no size estimate for workload view {view_name(query)}")
+    top = max(sizes, key=lambda v: (len(v), sizes[v]))
+    candidates = [
+        v for v in sizes
+        if v != top and any(is_subset(q, v) for q in workload)
+    ]
+
+    selected: list[View] = []
+    steps: list[tuple[View, float, float]] = []
+    base_cost = workload_cost(workload, [], sizes, top)
+    current = base_cost
+    spent = 0.0
+    while candidates:
+        if max_views is not None and len(selected) >= max_views:
+            break
+        best, best_benefit = None, 0.0
+        for cand in candidates:
+            cost = workload_cost(workload, selected + [cand], sizes, top)
+            benefit = current - cost
+            if benefit <= 0:
+                continue
+            if best is None or benefit / sizes[cand] > best_benefit:
+                best, best_benefit = cand, benefit / sizes[cand]
+        if best is None:
+            break
+        if budget_rows is not None and spent + sizes[best] > budget_rows:
+            candidates.remove(best)
+            continue
+        selected.append(best)
+        candidates.remove(best)
+        spent += sizes[best]
+        new_cost = workload_cost(workload, selected, sizes, top)
+        steps.append((best, current - new_cost, (current - new_cost) / sizes[best]))
+        current = new_cost
+    return AdvisorResult(
+        selected=selected,
+        base_cost=base_cost,
+        final_cost=current,
+        steps=steps,
+    )

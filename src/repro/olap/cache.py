@@ -1,0 +1,81 @@
+"""Query-result caching for warehouse front-ends.
+
+A dashboard re-issues the same group-bys constantly; caching their
+results is the standard tier above any OLAP engine.  The cache keys on
+the full query (group-by + filters + HAVING) and is safe because cubes
+are immutable once built — invalidation only happens when a new cube is
+swapped in (``attach``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.cube import CubeResult
+from repro.olap.query import Query, QueryEngine
+from repro.storage.table import Relation
+
+__all__ = ["CachedQueryEngine", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def _cache_key(query: Query):
+    return (
+        query.group_by,
+        tuple(sorted(query.filters.items())),
+        query.having,
+    )
+
+
+class CachedQueryEngine:
+    """An LRU cache in front of :class:`~repro.olap.query.QueryEngine`."""
+
+    def __init__(self, cube: CubeResult, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: OrderedDict[tuple, Relation] = OrderedDict()
+        self._engine = QueryEngine(cube)
+
+    @property
+    def engine(self) -> QueryEngine:
+        return self._engine
+
+    def attach(self, cube: CubeResult) -> None:
+        """Swap in a freshly built cube; drops every cached result."""
+        self._engine = QueryEngine(cube)
+        self._entries.clear()
+
+    def answer(self, query: Query) -> Relation:
+        key = _cache_key(query)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return cached
+        self.stats.misses += 1
+        result = self._engine.answer(query)
+        self._entries[key] = result
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return result
+
+    def explain(self, query: Query):
+        return self._engine.explain(query)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,274 @@
+"""Group-by queries answered from materialised views.
+
+A :class:`Query` asks for an aggregate grouped by some dimensions with
+optional per-dimension range filters.  The :class:`QueryPlanner` picks the
+cheapest materialised view that *covers* the query — it must contain every
+group-by dimension and every filtered dimension, and the smallest such
+view (fewest rows) costs the least to scan (Harinarayan-Rajaraman-Ullman's
+classic view-selection argument, which the paper's partial cubes feed).
+
+:class:`QueryEngine` executes the plan either on the gathered cube or in
+parallel on the virtual cluster.  The parallel path is the payoff of the
+paper's γ balance contract: every view is spread evenly across the ranks'
+disks, so a parallel scan costs ``rows/p`` — a deliberately unbalanced
+cube answers the same query slower, which
+``benchmarks/bench_query_latency.py`` measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.config import MachineSpec
+from repro.core.cube import CubeResult
+from repro.core.views import View, canonical_view, view_name
+from repro.mpi.engine import run_spmd
+from repro.storage.codec import KeyCodec
+from repro.storage.scan import aggregate_sorted_keys
+from repro.storage.table import Relation
+
+__all__ = ["Query", "QueryEngine", "QueryPlan", "QueryPlanner"]
+
+
+_HAVING_OPS = {
+    ">=": np.greater_equal,
+    "<=": np.less_equal,
+    ">": np.greater,
+    "<": np.less,
+}
+
+
+@dataclass(frozen=True)
+class Query:
+    """``SELECT <group_by>, AGG(measure) WHERE <filters> GROUP BY ...
+    HAVING AGG(measure) <op> <threshold>``.
+
+    ``filters`` maps a dimension index to an inclusive ``(lo, hi)`` code
+    range (a single value filters as ``(v, v)``).  ``having`` is an
+    optional ``(op, threshold)`` applied to each group's aggregate — the
+    iceberg-query form, e.g. ``(">=", 1000.0)``.
+    """
+
+    group_by: View
+    filters: Mapping[int, tuple[int, int]] = field(default_factory=dict)
+    having: tuple[str, float] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "group_by", canonical_view(self.group_by))
+        norm = {}
+        for dim, bounds in dict(self.filters).items():
+            if isinstance(bounds, (int, np.integer)):
+                bounds = (int(bounds), int(bounds))
+            lo, hi = int(bounds[0]), int(bounds[1])
+            if lo > hi:
+                raise ValueError(
+                    f"filter on dim {dim}: lo {lo} > hi {hi}"
+                )
+            norm[int(dim)] = (lo, hi)
+        object.__setattr__(self, "filters", norm)
+        if self.having is not None:
+            op, threshold = self.having
+            if op not in _HAVING_OPS:
+                raise ValueError(
+                    f"having op must be one of {sorted(_HAVING_OPS)}, "
+                    f"got {op!r}"
+                )
+            object.__setattr__(self, "having", (op, float(threshold)))
+
+    @property
+    def required_dims(self) -> View:
+        """Dimensions the answering view must contain."""
+        return canonical_view(tuple(self.group_by) + tuple(self.filters))
+
+    def describe(self) -> str:
+        parts = [f"GROUP BY {view_name(self.group_by)}"]
+        if self.filters:
+            conds = ", ".join(
+                f"D{dim} in [{lo},{hi}]"
+                for dim, (lo, hi) in sorted(self.filters.items())
+            )
+            parts.append(f"WHERE {conds}")
+        if self.having is not None:
+            parts.append(f"HAVING agg {self.having[0]} {self.having[1]:g}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A chosen materialised view plus its scan cost."""
+
+    query: Query
+    view: View
+    scan_rows: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.query.describe()}  <-  scan view "
+            f"{view_name(self.view)} ({self.scan_rows:,} rows)"
+        )
+
+
+class QueryPlanner:
+    """Smallest-covering-view selection over the materialised set."""
+
+    def __init__(self, view_rows: Mapping[View, int]):
+        self.view_rows = {canonical_view(v): int(n) for v, n in view_rows.items()}
+
+    def plan(self, query: Query) -> QueryPlan:
+        need = set(query.required_dims)
+        best: View | None = None
+        best_rows = -1
+        for view, rows in self.view_rows.items():
+            if need <= set(view):
+                if best is None or rows < best_rows or (
+                    rows == best_rows and view < best
+                ):
+                    best, best_rows = view, rows
+        if best is None:
+            raise LookupError(
+                f"no materialised view covers {view_name(query.required_dims)}"
+                " (partial cube without this ancestor?)"
+            )
+        return QueryPlan(query=query, view=best, scan_rows=best_rows)
+
+
+def _filter_mask(
+    dims: np.ndarray, view: View, filters: Mapping[int, tuple[int, int]]
+) -> np.ndarray:
+    mask = np.ones(dims.shape[0], dtype=bool)
+    col_of = {dim: pos for pos, dim in enumerate(view)}
+    for dim, (lo, hi) in filters.items():
+        col = dims[:, col_of[dim]]
+        mask &= (col >= lo) & (col <= hi)
+    return mask
+
+
+def _apply_having(
+    keys: np.ndarray,
+    measure: np.ndarray,
+    having: tuple[str, float] | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Filter aggregated groups by the HAVING predicate (iceberg form).
+
+    Applied after full aggregation, so it is only valid on completely
+    combined groups — both engine paths satisfy that.
+    """
+    if having is None:
+        return keys, measure
+    op, threshold = having
+    mask = _HAVING_OPS[op](measure, threshold)
+    return keys[mask], measure[mask]
+
+
+def _aggregate(
+    dims: np.ndarray,
+    measure: np.ndarray,
+    view: View,
+    group_by: View,
+    cards: Sequence[int],
+    agg: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Aggregate filtered view rows onto the group-by dims (packed keys)."""
+    col_of = {dim: pos for pos, dim in enumerate(view)}
+    cols = [col_of[dim] for dim in group_by]
+    codec = KeyCodec([cards[dim] for dim in group_by])
+    keys = (
+        codec.pack(dims[:, cols])
+        if cols
+        else np.zeros(dims.shape[0], dtype=np.int64)
+    )
+    order = np.argsort(keys, kind="stable")
+    return aggregate_sorted_keys(keys[order], measure[order], agg)
+
+
+class QueryEngine:
+    """Answer queries from a built :class:`~repro.core.cube.CubeResult`."""
+
+    def __init__(self, cube: CubeResult):
+        self.cube = cube
+        self.planner = QueryPlanner(
+            {view: cube.view_rows(view) for view in cube.views}
+        )
+
+    def explain(self, query: Query) -> QueryPlan:
+        return self.planner.plan(query)
+
+    def answer(self, query: Query) -> Relation:
+        """Gathered (single-host) execution; returns canonical columns."""
+        plan = self.planner.plan(query)
+        rel = self.cube.view_relation(plan.view)
+        mask = _filter_mask(rel.dims, plan.view, query.filters)
+        keys, measure = _aggregate(
+            rel.dims[mask],
+            rel.measure[mask],
+            plan.view,
+            query.group_by,
+            self.cube.cardinalities,
+            self.cube.agg,
+        )
+        keys, measure = _apply_having(keys, measure, query.having)
+        codec = KeyCodec(
+            [self.cube.cardinalities[dim] for dim in query.group_by]
+        )
+        return Relation(codec.unpack(keys), measure)
+
+    def answer_parallel(
+        self, query: Query, spec: MachineSpec | None = None
+    ) -> tuple[Relation, float]:
+        """Execute the plan across the virtual cluster.
+
+        Each rank scans its local piece of the chosen view (charging disk
+        and modelled CPU), partial aggregates travel to rank 0 in one
+        gather, and rank 0 combines.  Returns the result plus the
+        *simulated* latency — which is bounded below by the largest
+        per-rank piece of the view, i.e. by the γ balance the construction
+        paid for.
+        """
+        plan = self.planner.plan(query)
+        spec = spec or MachineSpec(p=len(self.cube.rank_views))
+        if spec.p != len(self.cube.rank_views):
+            raise ValueError(
+                f"cube is distributed over {len(self.cube.rank_views)} "
+                f"ranks but spec has p={spec.p}"
+            )
+        cube, cards, agg = self.cube, self.cube.cardinalities, self.cube.agg
+        group_by, filters, view = query.group_by, query.filters, plan.view
+
+        def rank_program(comm):
+            data = cube.rank_views[comm.rank][view]
+            comm.set_phase("query-scan")
+            comm.disk.charge_scan(data.nrows)
+            comm.disk.work.charge_scan(data.nrows)
+            from repro.core.viewdata import codec_for_order
+
+            dims_local = codec_for_order(data.order, cards).unpack(data.keys)
+            col_of = {dim: pos for pos, dim in enumerate(data.order)}
+            canon_cols = [col_of[dim] for dim in view]
+            dims_local = dims_local[:, canon_cols] if canon_cols else dims_local
+            mask = _filter_mask(dims_local, view, filters)
+            keys, measure = _aggregate(
+                dims_local[mask], data.measure[mask], view, group_by,
+                cards, agg,
+            )
+            comm.set_phase("query-gather")
+            parts = comm.gather((keys, measure), root=0)
+            if comm.rank != 0:
+                return None
+            all_keys = np.concatenate([k for k, _ in parts])
+            all_measure = np.concatenate([m for _, m in parts])
+            order = np.argsort(all_keys, kind="stable")
+            return aggregate_sorted_keys(
+                all_keys[order], all_measure[order], agg
+            )
+
+        result = run_spmd(rank_program, spec)
+        keys, measure = result.rank_results[0]
+        keys, measure = _apply_having(keys, measure, query.having)
+        codec = KeyCodec([cards[dim] for dim in group_by])
+        return (
+            Relation(codec.unpack(keys), measure),
+            result.simulated_seconds,
+        )

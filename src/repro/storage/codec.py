@@ -1,0 +1,98 @@
+"""Mixed-radix packing of dimension tuples into single ``int64`` keys.
+
+Sorting and merging dominate data cube construction.  Comparing ``k``-column
+rows with ``np.lexsort`` costs ``k`` passes; packing each row into one
+``int64`` whose integer order equals the row's lexicographic order turns
+every sort, merge, search and group-by boundary detection into a fast 1-D
+operation.  This is the dictionary-encoded-composite-key idiom used by real
+ROLAP engines, and is the main vectorisation lever of this code base
+(see the HPC guide: vectorise, avoid per-row Python).
+
+Packing requires the product of the (per-view) cardinalities to fit in 63
+bits.  :meth:`KeyCodec.fits` checks this; callers fall back to ``lexsort``
+on raw columns when it does not hold (see :func:`repro.storage.table.
+Relation.sort_lex`).  All experiment presets in this repository fit easily
+(e.g. 256·128·64·32·16·8·6·6 ≈ 2^33).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["KeyCodec"]
+
+_MAX_KEY = np.int64(2**62)
+
+
+class KeyCodec:
+    """Order-preserving bijection between dim tuples and ``int64`` keys.
+
+    Parameters
+    ----------
+    cardinalities:
+        Per-column alphabet sizes; column ``i`` must hold codes in
+        ``[0, cardinalities[i])``.  Column 0 is the most significant.
+    """
+
+    def __init__(self, cardinalities: Sequence[int]):
+        cards = np.asarray(list(cardinalities), dtype=np.int64)
+        if cards.ndim != 1:
+            raise ValueError("cardinalities must be a flat sequence")
+        if (cards < 1).any():
+            raise ValueError(f"cardinalities must be >= 1, got {cards.tolist()}")
+        self.cardinalities = cards
+        self.width = len(cards)
+        # weights[i] = product of cardinalities of the less significant
+        # columns, so key = sum_i dims[:, i] * weights[i].
+        weights = np.ones(self.width, dtype=np.float64)
+        for i in range(self.width - 2, -1, -1):
+            weights[i] = weights[i + 1] * float(cards[i + 1])
+        self._capacity = float(weights[0]) * float(cards[0]) if self.width else 1.0
+        if not self.fits():
+            raise OverflowError(
+                "key space exceeds 63 bits: "
+                f"product of cardinalities {cards.tolist()} ≈ {self._capacity:.3g}"
+            )
+        self.weights = weights.astype(np.int64)
+
+    def fits(self) -> bool:
+        """True iff every tuple packs into a non-negative ``int64``."""
+        return self._capacity <= float(_MAX_KEY)
+
+    @property
+    def capacity(self) -> int:
+        """Number of distinct keys this codec can produce."""
+        return int(self._capacity)
+
+    def pack(self, dims: np.ndarray) -> np.ndarray:
+        """Pack an ``(n, width)`` code array into ``(n,)`` int64 keys."""
+        dims = np.asarray(dims)
+        if dims.ndim != 2 or dims.shape[1] != self.width:
+            raise ValueError(
+                f"expected (n, {self.width}) array, got shape {dims.shape}"
+            )
+        if self.width == 0:
+            return np.zeros(dims.shape[0], dtype=np.int64)
+        return dims @ self.weights
+
+    def unpack(self, keys: np.ndarray) -> np.ndarray:
+        """Invert :meth:`pack`: ``(n,)`` keys back to ``(n, width)`` codes."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.ndim != 1:
+            raise ValueError(f"keys must be 1-D, got shape {keys.shape}")
+        out = np.empty((keys.shape[0], self.width), dtype=np.int64)
+        rem = keys
+        for i in range(self.width):
+            out[:, i], rem = np.divmod(rem, self.weights[i])
+        return out
+
+    def prefix_codec(self, k: int) -> "KeyCodec":
+        """Codec over the first ``k`` columns only."""
+        if not 0 <= k <= self.width:
+            raise ValueError(f"prefix length {k} out of range 0..{self.width}")
+        return KeyCodec(self.cardinalities[:k])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KeyCodec({self.cardinalities.tolist()})"

@@ -1,0 +1,179 @@
+"""Relational I/O: CSV ingestion with dictionary encoding, and view export.
+
+The paper's pitch for ROLAP is "tight integration with current relational
+database technology": cube inputs and outputs are plain relational tables.
+This module supplies that boundary:
+
+* :func:`read_csv` loads a fact table, dictionary-encodes each dimension
+  column (arbitrary strings/numbers → dense codes), and — because the
+  algorithm requires dimensions ordered by non-increasing cardinality —
+  reorders the columns, remembering the permutation so results can be
+  reported in the user's original terms.
+* :func:`write_view_csv` exports a materialised view back to CSV with the
+  original dimension names and decoded values.
+
+Only the standard library's ``csv`` is used; no pandas dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.storage.table import Relation
+
+__all__ = ["EncodedDataset", "encode_dimensions", "read_csv", "write_view_csv"]
+
+
+@dataclass
+class EncodedDataset:
+    """A dictionary-encoded fact table ready for cube construction."""
+
+    #: Codes, columns already in non-increasing cardinality order.
+    relation: Relation
+    #: Per-column cardinalities (same order as the relation's columns).
+    cardinalities: tuple[int, ...]
+    #: Dimension names, same order as the relation's columns.
+    names: tuple[str, ...]
+    #: Per-column decoders: ``dictionaries[col][code] -> original value``.
+    dictionaries: tuple[tuple[str, ...], ...]
+    #: Name of the measure column.
+    measure_name: str
+
+    def dim_index(self, name: str) -> int:
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise KeyError(
+                f"unknown dimension {name!r}; have {self.names}"
+            ) from None
+
+    def view_of(self, *names: str) -> tuple[int, ...]:
+        """Translate dimension names to a view identifier."""
+        return tuple(sorted(self.dim_index(n) for n in names))
+
+    def decode(self, col: int, codes: np.ndarray) -> list[str]:
+        table = self.dictionaries[col]
+        return [table[int(c)] for c in codes]
+
+
+def encode_dimensions(
+    columns: Sequence[Sequence[str]],
+    names: Sequence[str],
+    measure: Sequence[float],
+    measure_name: str = "measure",
+) -> EncodedDataset:
+    """Dictionary-encode raw dimension columns into an ordered dataset.
+
+    Columns are sorted by descending cardinality (ties broken by original
+    position, keeping the encoding deterministic); codes are assigned by
+    first-seen-in-sorted-value order so equal inputs encode identically
+    across runs.
+    """
+    if len(columns) != len(names):
+        raise ValueError(
+            f"{len(columns)} columns but {len(names)} names"
+        )
+    n = len(measure)
+    for name, col in zip(names, columns):
+        if len(col) != n:
+            raise ValueError(
+                f"column {name!r} has {len(col)} values, measure has {n}"
+            )
+
+    encoded = []
+    for col in columns:
+        values = np.asarray(col, dtype=object)
+        uniq, codes = np.unique(values.astype(str), return_inverse=True)
+        encoded.append((tuple(uniq.tolist()), codes.astype(np.int64)))
+
+    order = sorted(
+        range(len(columns)),
+        key=lambda i: (-len(encoded[i][0]), i),
+    )
+    dims = (
+        np.column_stack([encoded[i][1] for i in order])
+        if order
+        else np.empty((n, 0), dtype=np.int64)
+    )
+    return EncodedDataset(
+        relation=Relation(dims, np.asarray(measure, dtype=np.float64)),
+        cardinalities=tuple(len(encoded[i][0]) for i in order),
+        names=tuple(names[i] for i in order),
+        dictionaries=tuple(encoded[i][0] for i in order),
+        measure_name=measure_name,
+    )
+
+
+def read_csv(
+    path: str,
+    dimensions: Sequence[str],
+    measure: str,
+    delimiter: str = ",",
+) -> EncodedDataset:
+    """Load a CSV fact table and encode it for cube construction.
+
+    ``dimensions`` names the group-by columns, ``measure`` the numeric
+    column; other columns are ignored.  Raises on missing columns or
+    non-numeric measures.
+    """
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh, delimiter=delimiter)
+        if reader.fieldnames is None:
+            raise ValueError(f"{path}: empty CSV (no header)")
+        missing = [
+            c for c in list(dimensions) + [measure]
+            if c not in reader.fieldnames
+        ]
+        if missing:
+            raise ValueError(
+                f"{path}: missing columns {missing}; "
+                f"header has {reader.fieldnames}"
+            )
+        columns: list[list[str]] = [[] for _ in dimensions]
+        values: list[float] = []
+        for line_no, row in enumerate(reader, start=2):
+            for slot, name in enumerate(dimensions):
+                columns[slot].append(row[name])
+            try:
+                values.append(float(row[measure]))
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"{path}:{line_no}: measure {row[measure]!r} is not "
+                    "numeric"
+                ) from None
+    return encode_dimensions(columns, list(dimensions), values, measure)
+
+
+def write_view_csv(
+    path: str,
+    view_relation: Relation,
+    view: Sequence[int],
+    dataset: EncodedDataset,
+    delimiter: str = ",",
+) -> str:
+    """Export one materialised view with decoded dimension values."""
+    view = list(view)
+    if view_relation.width != len(view):
+        raise ValueError(
+            f"view has {len(view)} dims but relation is "
+            f"{view_relation.width} wide"
+        )
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh, delimiter=delimiter)
+        writer.writerow(
+            [dataset.names[dim] for dim in view] + [dataset.measure_name]
+        )
+        decoded = [
+            dataset.decode(dim, view_relation.dims[:, pos])
+            for pos, dim in enumerate(view)
+        ]
+        for row_idx in range(view_relation.nrows):
+            writer.writerow(
+                [col[row_idx] for col in decoded]
+                + [repr(float(view_relation.measure[row_idx]))]
+            )
+    return path

@@ -1,0 +1,193 @@
+"""Relational table representation used throughout the system.
+
+A :class:`Relation` is the ROLAP building block: ``n`` rows over ``k``
+dimension columns (small non-negative integer codes) plus one numeric
+measure column.  Dimension values are dictionary-encoded upstream by the
+data generator, which is both what real ROLAP engines do and what keeps all
+kernels vectorisable.
+
+Rows are stored column-major-friendly as one ``(n, k)`` ``int64`` array and
+one ``(n,)`` ``float64`` measure array.  All mutating operations return new
+relations; the arrays themselves are treated as immutable by convention
+(views are handed out freely, copies are made only when required).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Relation"]
+
+
+@dataclass(frozen=True)
+class Relation:
+    """An ``n``-row relation with ``k`` dimension columns and a measure.
+
+    Parameters
+    ----------
+    dims:
+        ``(n, k)`` ``int64`` array of dimension codes, ``k >= 0``.
+    measure:
+        ``(n,)`` ``float64`` array of measure values.
+    """
+
+    dims: np.ndarray
+    measure: np.ndarray
+
+    def __post_init__(self) -> None:
+        dims = np.asarray(self.dims)
+        measure = np.asarray(self.measure)
+        if dims.ndim != 2:
+            raise ValueError(f"dims must be 2-D, got shape {dims.shape}")
+        if measure.ndim != 1:
+            raise ValueError(
+                f"measure must be 1-D, got shape {measure.shape}"
+            )
+        if dims.shape[0] != measure.shape[0]:
+            raise ValueError(
+                "row count mismatch: "
+                f"{dims.shape[0]} dim rows vs {measure.shape[0]} measures"
+            )
+        if dims.dtype != np.int64:
+            dims = dims.astype(np.int64)
+        if measure.dtype != np.float64:
+            measure = measure.astype(np.float64)
+        object.__setattr__(self, "dims", dims)
+        object.__setattr__(self, "measure", measure)
+
+    # -- construction ----------------------------------------------------
+
+    @staticmethod
+    def empty(width: int) -> "Relation":
+        """An empty relation with ``width`` dimension columns."""
+        if width < 0:
+            raise ValueError(f"width must be >= 0, got {width}")
+        return Relation(
+            np.empty((0, width), dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+
+    @staticmethod
+    def from_rows(
+        rows: Iterable[Sequence[int]], measures: Iterable[float]
+    ) -> "Relation":
+        """Build a relation from Python row tuples (testing convenience)."""
+        rows = list(rows)
+        measures = np.asarray(list(measures), dtype=np.float64)
+        if not rows:
+            return Relation(
+                np.empty((len(measures), 0), dtype=np.int64), measures
+            )
+        return Relation(np.asarray(rows, dtype=np.int64), measures)
+
+    @staticmethod
+    def concat(parts: Sequence["Relation"]) -> "Relation":
+        """Concatenate relations of identical width."""
+        parts = [part for part in parts if part is not None]
+        if not parts:
+            raise ValueError("cannot concatenate zero relations")
+        width = parts[0].width
+        for part in parts:
+            if part.width != width:
+                raise ValueError(
+                    f"width mismatch in concat: {part.width} != {width}"
+                )
+        if len(parts) == 1:
+            return parts[0]
+        return Relation(
+            np.concatenate([part.dims for part in parts], axis=0),
+            np.concatenate([part.measure for part in parts]),
+        )
+
+    # -- basic properties -------------------------------------------------
+
+    @property
+    def nrows(self) -> int:
+        """Number of rows."""
+        return self.dims.shape[0]
+
+    @property
+    def width(self) -> int:
+        """Number of dimension columns."""
+        return self.dims.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        """In-memory footprint of the payload arrays."""
+        return self.dims.nbytes + self.measure.nbytes
+
+    def __len__(self) -> int:  # pragma: no cover - trivial
+        return self.nrows
+
+    # -- row operations ----------------------------------------------------
+
+    def take(self, index: np.ndarray) -> "Relation":
+        """Select rows by integer index array (returns a copy)."""
+        index = np.asarray(index)
+        return Relation(self.dims[index], self.measure[index])
+
+    def slice(self, start: int, stop: int) -> "Relation":
+        """Select a contiguous row range (returns views, zero-copy)."""
+        return Relation(self.dims[start:stop], self.measure[start:stop])
+
+    def project(self, columns: Sequence[int]) -> "Relation":
+        """Keep only the given dimension columns (no aggregation)."""
+        cols = list(columns)
+        if any(c < 0 or c >= self.width for c in cols):
+            raise IndexError(
+                f"projection columns {cols} out of range for width {self.width}"
+            )
+        return Relation(self.dims[:, cols], self.measure)
+
+    def sort_lex(self) -> "Relation":
+        """Sort rows lexicographically over all dimension columns.
+
+        Column 0 is the most significant key, matching view-identifier
+        ordering (highest-cardinality dimension first).
+        """
+        if self.nrows <= 1 or self.width == 0:
+            return self
+        # np.lexsort keys: last key is primary, so feed columns reversed.
+        order = np.lexsort(tuple(self.dims[:, c] for c in range(self.width - 1, -1, -1)))
+        return self.take(order)
+
+    def is_sorted_lex(self) -> bool:
+        """True iff rows are in non-decreasing lexicographic order."""
+        if self.nrows <= 1 or self.width == 0:
+            return True
+        a, b = self.dims[:-1], self.dims[1:]
+        # Row i <= row i+1 lexicographically: at the first differing column
+        # (if any), a < b.
+        diff = a != b
+        any_diff = diff.any(axis=1)
+        first = np.argmax(diff, axis=1)
+        rows = np.arange(len(first))
+        ok = ~any_diff | (a[rows, first] < b[rows, first])
+        return bool(ok.all())
+
+    # -- comparisons --------------------------------------------------------
+
+    def canonical(self) -> tuple:
+        """A hashable canonical form (sorted rows), for equality in tests."""
+        rel = self.sort_lex()
+        return (
+            rel.width,
+            rel.dims.tobytes(),
+            np.round(rel.measure, 9).tobytes(),
+        )
+
+    def same_content(self, other: "Relation", rtol: float = 1e-9) -> bool:
+        """True iff both relations hold the same multiset of rows."""
+        if self.width != other.width or self.nrows != other.nrows:
+            return False
+        a, b = self.sort_lex(), other.sort_lex()
+        return bool(
+            np.array_equal(a.dims, b.dims)
+            and np.allclose(a.measure, b.measure, rtol=rtol, atol=1e-9)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation(nrows={self.nrows}, width={self.width})"

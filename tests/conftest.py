@@ -1,0 +1,47 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.config import MachineSpec
+from repro.storage.table import Relation
+
+# The cube pipeline spawns threads; generous deadlines keep hypothesis
+# from flagging scheduler noise as slow tests.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xBEEF)
+
+
+@pytest.fixture
+def small_spec() -> MachineSpec:
+    """A 4-rank machine with tight memory to exercise external paths."""
+    return MachineSpec(p=4, memory_budget=1 << 12, block_size=1 << 6)
+
+
+def make_relation(
+    n: int,
+    cards: tuple[int, ...],
+    seed: int = 0,
+    alphas: tuple[float, ...] | None = None,
+) -> Relation:
+    """Random relation with the given cardinalities (test helper)."""
+    from repro.data.generator import DatasetSpec, generate_dataset
+
+    if alphas is None:
+        alphas = (0.0,) * len(cards)
+    return generate_dataset(
+        DatasetSpec(n=n, cardinalities=cards, alphas=alphas, seed=seed)
+    )

@@ -1,0 +1,54 @@
+"""Tests for the cost-model calibration utility."""
+
+import pytest
+
+from repro.bench.calibrate import (
+    HostConstants,
+    calibrated_spec,
+    measure_host_constants,
+)
+from repro.config import MachineSpec
+
+
+class TestMeasure:
+    def test_positive_constants(self):
+        host = measure_host_constants(rows=50_000, repeats=1)
+        assert host.sort_sec_per_row_level > 0
+        assert host.scan_sec_per_row > 0
+        assert host.rows_measured == 50_000
+
+    def test_describe(self):
+        host = measure_host_constants(rows=20_000, repeats=1)
+        assert "ns/row" in host.describe()
+
+    def test_host_faster_than_2003(self):
+        """A modern host must beat a 1.8 GHz Xeon's per-row constants."""
+        host = measure_host_constants(rows=100_000, repeats=2)
+        spec = MachineSpec()
+        assert host.slowdown_vs(spec) > 1.0
+
+
+class TestCalibratedSpec:
+    def test_named_profile(self):
+        spec = calibrated_spec(MachineSpec(p=8), "xeon2003")
+        assert spec.sort_sec_per_row_level == pytest.approx(2.0e-7)
+        assert spec.p == 8  # other fields preserved
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError, match="unknown target"):
+            calibrated_spec(MachineSpec(), "cray1")
+
+    def test_numeric_factor(self):
+        host = HostConstants(1e-8, 5e-9, 1000)
+        spec = calibrated_spec(MachineSpec(), 10.0, host=host)
+        assert spec.sort_sec_per_row_level == pytest.approx(1e-7)
+        assert spec.scan_sec_per_row == pytest.approx(5e-8)
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError):
+            calibrated_spec(MachineSpec(), 0.0, host=HostConstants(1, 1, 1))
+
+    def test_slowdown_roundtrip(self):
+        host = HostConstants(1e-8, 1e-8, 1000)
+        spec = calibrated_spec(MachineSpec(), 7.0, host=host)
+        assert host.slowdown_vs(spec) == pytest.approx(7.0)

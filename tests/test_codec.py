@@ -1,0 +1,119 @@
+"""Tests for repro.storage.codec.KeyCodec (mixed-radix key packing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.codec import KeyCodec
+
+
+class TestBasics:
+    def test_roundtrip(self):
+        codec = KeyCodec([4, 3, 2])
+        dims = np.array([[0, 0, 0], [3, 2, 1], [1, 1, 1]], dtype=np.int64)
+        assert np.array_equal(codec.unpack(codec.pack(dims)), dims)
+
+    def test_capacity(self):
+        assert KeyCodec([4, 3, 2]).capacity == 24
+        assert KeyCodec([7]).capacity == 7
+
+    def test_zero_width(self):
+        codec = KeyCodec([])
+        keys = codec.pack(np.empty((3, 0), dtype=np.int64))
+        assert keys.tolist() == [0, 0, 0]
+        assert codec.capacity == 1
+
+    def test_column_zero_most_significant(self):
+        codec = KeyCodec([10, 10])
+        a = codec.pack(np.array([[1, 0]]))
+        b = codec.pack(np.array([[0, 9]]))
+        assert a[0] > b[0]
+
+    def test_rejects_bad_cardinalities(self):
+        with pytest.raises(ValueError):
+            KeyCodec([0, 3])
+        with pytest.raises(ValueError):
+            KeyCodec([-2])
+
+    def test_overflow_raises(self):
+        with pytest.raises(OverflowError, match="63 bits"):
+            KeyCodec([2**32, 2**32])
+
+    def test_big_but_fitting(self):
+        codec = KeyCodec([2**31, 2**30])  # 2^61 < 2^62
+        dims = np.array([[2**31 - 1, 2**30 - 1]], dtype=np.int64)
+        assert np.array_equal(codec.unpack(codec.pack(dims)), dims)
+
+    def test_pack_shape_validation(self):
+        codec = KeyCodec([4, 3])
+        with pytest.raises(ValueError, match="expected"):
+            codec.pack(np.zeros((2, 3), dtype=np.int64))
+        with pytest.raises(ValueError):
+            codec.unpack(np.zeros((2, 2), dtype=np.int64))
+
+    def test_prefix_codec(self):
+        codec = KeyCodec([4, 3, 2])
+        pre = codec.prefix_codec(2)
+        assert pre.cardinalities.tolist() == [4, 3]
+        with pytest.raises(ValueError):
+            codec.prefix_codec(4)
+
+    def test_prefix_key_is_integer_division(self):
+        """The pipeline fast path: prefix key = full key // suffix capacity."""
+        codec = KeyCodec([5, 4, 3, 2])
+        rng = np.random.default_rng(1)
+        dims = np.column_stack(
+            [rng.integers(0, c, 100) for c in (5, 4, 3, 2)]
+        )
+        full = codec.pack(dims)
+        for k in range(1, 4):
+            pre = codec.prefix_codec(k)
+            divisor = codec.weights[k - 1]
+            assert np.array_equal(full // divisor, pre.pack(dims[:, :k]))
+
+
+@st.composite
+def cards_and_rows(draw):
+    width = draw(st.integers(1, 6))
+    cards = draw(
+        st.lists(st.integers(1, 50), min_size=width, max_size=width)
+    )
+    n = draw(st.integers(0, 40))
+    rows = [
+        [draw(st.integers(0, c - 1)) for c in cards] for _ in range(n)
+    ]
+    return cards, np.array(rows, dtype=np.int64).reshape(n, width)
+
+
+class TestProperties:
+    @given(cards_and_rows())
+    def test_roundtrip_property(self, cr):
+        cards, dims = cr
+        codec = KeyCodec(cards)
+        assert np.array_equal(codec.unpack(codec.pack(dims)), dims)
+
+    @given(cards_and_rows())
+    def test_order_preservation(self, cr):
+        """Integer order of packed keys == lexicographic order of rows."""
+        cards, dims = cr
+        if dims.shape[0] < 2:
+            return
+        codec = KeyCodec(cards)
+        keys = codec.pack(dims)
+        order_by_key = np.argsort(keys, kind="stable")
+        order_lex = np.lexsort(
+            tuple(dims[:, c] for c in range(dims.shape[1] - 1, -1, -1))
+        )
+        assert np.array_equal(
+            dims[order_by_key], dims[order_lex]
+        )
+
+    @given(cards_and_rows())
+    def test_keys_within_capacity(self, cr):
+        cards, dims = cr
+        codec = KeyCodec(cards)
+        keys = codec.pack(dims)
+        if keys.size:
+            assert keys.min() >= 0
+            assert keys.max() < codec.capacity

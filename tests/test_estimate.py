@@ -1,0 +1,158 @@
+"""Tests for repro.core.estimate: view-size estimators."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimate import (
+    cardenas_size,
+    estimate_view_sizes,
+    fm_distinct,
+    sample_distinct,
+    scale_estimates,
+    splitmix64,
+)
+
+
+class TestCardenas:
+    def test_zero_rows(self):
+        assert cardenas_size(0, 100) == 0.0
+
+    def test_single_slot(self):
+        assert cardenas_size(50, 1) == 1.0
+
+    def test_bounded_by_space_and_rows(self):
+        for n, k in [(10, 1000), (1000, 10), (500, 500)]:
+            est = cardenas_size(n, k)
+            assert 0 < est <= min(n, k) + 1e-9
+
+    def test_dense_limit(self):
+        # many more rows than slots: essentially all slots hit
+        assert cardenas_size(10**6, 100) == pytest.approx(100, rel=1e-6)
+
+    def test_sparse_limit(self):
+        # far fewer rows than slots: essentially all rows distinct
+        assert cardenas_size(100, 10**9) == pytest.approx(100, rel=1e-3)
+
+    def test_monotone_in_rows(self):
+        vals = [cardenas_size(n, 1000) for n in (10, 100, 1000, 10000)]
+        assert vals == sorted(vals)
+
+    def test_stable_for_huge_space(self):
+        # must not overflow/underflow for spaces beyond float precision
+        est = cardenas_size(1e6, 1e30)
+        assert est == pytest.approx(1e6, rel=1e-3)
+
+
+class TestSplitmix:
+    def test_deterministic(self):
+        x = np.arange(10, dtype=np.int64).view(np.uint64)
+        assert np.array_equal(splitmix64(x), splitmix64(x))
+
+    def test_mixes_consecutive_inputs(self):
+        x = np.arange(1000, dtype=np.int64).view(np.uint64)
+        h = splitmix64(x)
+        assert np.unique(h).size == 1000
+        # low bits should look uniform: each of 16 buckets within 3 sigma
+        buckets = np.bincount((h & np.uint64(15)).astype(int), minlength=16)
+        assert buckets.min() > 20
+
+
+class TestFM:
+    def test_empty(self):
+        assert fm_distinct(np.empty(0, dtype=np.int64)) == 0.0
+
+    def test_reasonable_accuracy(self):
+        rng = np.random.default_rng(3)
+        for true in (100, 1000, 20000):
+            keys = rng.integers(0, true, true * 5).astype(np.int64) % true
+            # force exactly `true` distinct values
+            keys = np.concatenate([np.arange(true, dtype=np.int64), keys])
+            est = fm_distinct(keys)
+            assert true / 2.2 <= est <= true * 2.2  # FM-grade accuracy
+
+    def test_duplicates_do_not_inflate(self):
+        # PCSA's floor is ~m/phi (~83 with 64 buckets); a single distinct
+        # value must estimate near that floor, never near n.
+        keys = np.zeros(10_000, dtype=np.int64)
+        assert fm_distinct(keys) < 200
+
+
+class TestSampleDistinct:
+    def test_empty(self):
+        assert sample_distinct(np.empty(0, dtype=np.int64), 100, 10) == 0.0
+
+    def test_all_distinct_falls_back(self):
+        keys = np.arange(50, dtype=np.int64)
+        est = sample_distinct(keys, 5000, key_space=10**9)
+        assert est == pytest.approx(cardenas_size(5000, 10**9), rel=1e-6)
+
+    def test_dense_sample(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 20, 500).astype(np.int64)
+        est = sample_distinct(keys, 50_000, key_space=20)
+        assert 15 <= est <= 20
+
+
+class TestEstimateViewSizes:
+    @pytest.fixture
+    def data(self):
+        rng = np.random.default_rng(9)
+        cards = (16, 8, 4)
+        dims = np.column_stack(
+            [rng.integers(0, c, 3000) for c in cards]
+        ).astype(np.int64)
+        return dims, cards
+
+    @pytest.mark.parametrize("method", ["sample", "fm", "analytic", "exact"])
+    def test_methods_give_sane_sizes(self, data, method):
+        dims, cards = data
+        views = [(0,), (1, 2), (0, 1, 2), ()]
+        est = estimate_view_sizes(dims, cards, views, method=method)
+        assert est[()] == 1.0
+        assert 10 <= est[(0,)] <= 16.5
+        assert 20 <= est[(1, 2)] <= 32.5
+        assert est[(0, 1, 2)] <= 3000 * 1.2
+
+    def test_exact_matches_unique(self, data):
+        dims, cards = data
+        est = estimate_view_sizes(dims, cards, [(0, 1)], method="exact")
+        true = len({(a, b) for a, b in dims[:, :2].tolist()})
+        assert est[(0, 1)] == true
+
+    def test_extrapolation_scales_up_sparse_view(self):
+        rng = np.random.default_rng(4)
+        cards = (64, 32, 16)  # space 32768 >> sample: extrapolation matters
+        dims = np.column_stack(
+            [rng.integers(0, c, 2000) for c in cards]
+        ).astype(np.int64)
+        small = estimate_view_sizes(dims, cards, [(0, 1, 2)], method="sample")
+        big = estimate_view_sizes(
+            dims, cards, [(0, 1, 2)], total_rows=20_000, method="sample"
+        )
+        assert big[(0, 1, 2)] > small[(0, 1, 2)] * 1.5
+
+    def test_sample_exact_at_population_size(self):
+        rng = np.random.default_rng(5)
+        keys = rng.integers(0, 50, 1000).astype(np.int64)
+        est = sample_distinct(keys, 1000, key_space=10**6)
+        assert est == pytest.approx(np.unique(keys).size, rel=0.01)
+
+    def test_unknown_method_rejected(self, data):
+        dims, cards = data
+        with pytest.raises(ValueError, match="unknown estimation"):
+            estimate_view_sizes(dims, cards, [(0,)], method="magic")
+
+    def test_scale_estimates(self):
+        scaled = scale_estimates({(0,): 10.0}, 4.0)
+        assert scaled[(0,)] == 40.0
+
+    def test_estimates_only_steer_never_break(self, data):
+        """Deliberately absurd estimates must not break tree building."""
+        from repro.core.pipesort import build_schedule_tree
+        from repro.core.views import all_views
+
+        views = all_views(3)
+        bogus = {v: 1e9 if len(v) % 2 else 0.001 for v in views}
+        tree = build_schedule_tree(views, (0, 1, 2), bogus)
+        tree.validate()
+        assert len(tree) == 8

@@ -1,0 +1,105 @@
+"""Tests for repro.storage.external_sort."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.disk import LocalDisk
+from repro.storage.external_sort import (
+    external_sort,
+    merge_fanin,
+    sort_cost_blocks,
+)
+
+
+def run_sort(keys, budget, block=8):
+    disk = LocalDisk(block_size=block)
+    keys = np.asarray(keys, dtype=np.int64)
+    vals = np.arange(len(keys), dtype=np.float64)
+    sk, sv = external_sort(keys, vals, disk, budget)
+    return sk, sv, disk
+
+
+class TestCorrectness:
+    def test_in_memory_path(self):
+        sk, sv, disk = run_sort([3, 1, 2], budget=10)
+        assert sk.tolist() == [1, 2, 3]
+        assert sv.tolist() == [1.0, 2.0, 0.0]
+        assert disk.stats.blocks_total == 0  # fits memory: no disk traffic
+
+    def test_external_path_sorted(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 1000, 500)
+        sk, sv, disk = run_sort(keys, budget=32)
+        assert np.all(np.diff(sk) >= 0)
+        assert disk.stats.blocks_total > 0
+
+    def test_payload_follows_key(self):
+        keys = np.array([5, 1, 5, 0], dtype=np.int64)
+        sk, sv, _ = run_sort(keys, budget=2)
+        pairs = sorted(zip(keys.tolist(), [0.0, 1.0, 2.0, 3.0]))
+        assert list(zip(sk.tolist(), sv.tolist())) == pairs
+
+    def test_stability_in_memory(self):
+        keys = np.array([1, 1, 1], dtype=np.int64)
+        sk, sv, _ = run_sort(keys, budget=10)
+        assert sv.tolist() == [0.0, 1.0, 2.0]
+
+    def test_empty(self):
+        sk, sv, disk = run_sort([], budget=8)
+        assert sk.size == 0
+        assert disk.stats.blocks_total == 0
+
+    def test_rejects_mismatched(self):
+        disk = LocalDisk(block_size=4)
+        with pytest.raises(ValueError):
+            external_sort(
+                np.zeros(3, dtype=np.int64), np.zeros(2), disk, 10
+            )
+
+    @given(st.lists(st.integers(0, 10_000), max_size=300))
+    def test_multiset_preserved(self, raw):
+        keys = np.array(raw, dtype=np.int64)
+        sk, sv, _ = run_sort(keys, budget=16, block=4)
+        assert np.all(np.diff(sk) >= 0) if sk.size else True
+        assert sorted(sk.tolist()) == sorted(raw)
+        assert sorted(sv.tolist()) == sorted(range(len(raw)))
+
+
+class TestCostModel:
+    def test_fanin(self):
+        assert merge_fanin(64, 8) == 7
+        assert merge_fanin(16, 8) == 2  # floor at 2
+        assert merge_fanin(8, 8) == 2
+
+    def test_in_memory_zero_cost(self):
+        assert sort_cost_blocks(100, 1000, 8) == 0
+
+    def test_measured_matches_model_aligned(self):
+        # n, budget and block all powers of two: exact match expected.
+        n, budget, block = 1024, 64, 8
+        keys = np.random.default_rng(1).integers(0, 10**6, n)
+        _, _, disk = run_sort(keys, budget=budget, block=block)
+        assert disk.stats.blocks_total == sort_cost_blocks(n, budget, block)
+
+    def test_measured_close_to_model_unaligned(self):
+        n, budget, block = 1000, 60, 8
+        keys = np.random.default_rng(2).integers(0, 10**6, n)
+        _, _, disk = run_sort(keys, budget=budget, block=block)
+        model = sort_cost_blocks(n, budget, block)
+        # per-run rounding can add at most one block per run per pass
+        assert model <= disk.stats.blocks_total <= model + 4 * (n // budget + 1)
+
+    def test_logarithmic_passes(self):
+        # 64 runs with fan-in 7 -> 3 passes (64 -> 10 -> 2 -> 1)
+        n, budget, block = 64 * 64, 64, 8
+        blocks = -(-n // block)
+        assert sort_cost_blocks(n, budget, block) == blocks + 2 * blocks * 3 + blocks
+
+    def test_work_meter_charged(self):
+        disk = LocalDisk(block_size=8)
+        keys = np.arange(100, dtype=np.int64)
+        external_sort(keys, keys.astype(float), disk, 1000)
+        assert disk.work.rows_sorted == 100
+        assert disk.work.seconds > 0

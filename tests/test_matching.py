@@ -1,0 +1,116 @@
+"""Cross-validation of the production matcher against the classic
+replicated-parent Pipesort matching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lattice import Lattice
+from repro.core.matching import level_cost, match_level_replicated
+from repro.core.pipesort import build_schedule_tree, scan_cost, sort_cost
+from repro.core.views import all_views
+
+
+def tree_level_cost(tree, children, estimates):
+    """Cost the production tree assigns to one level's children."""
+    total = 0.0
+    for child in children:
+        node = tree.nodes[child]
+        size = max(estimates.get(node.parent, 1.0), 1.0)
+        total += scan_cost(size) if node.mode == "scan" else sort_cost(size)
+    return total
+
+
+class TestReplicatedMatching:
+    def test_prefers_scan_from_each_parent_once(self):
+        parents = [(0, 1), (0, 2)]
+        children = [(0,), (1,), (2,)]
+        est = {(0, 1): 100.0, (0, 2): 100.0}
+        assignment = match_level_replicated(children, parents, est)
+        scans = [(c, p) for c, p, m in assignment if m == "scan"]
+        by_parent = {}
+        for c, p in scans:
+            by_parent.setdefault(p, []).append(c)
+        for p, cs in by_parent.items():
+            assert len(cs) == 1  # one scan per parent
+
+    def test_all_children_assigned(self):
+        lat = Lattice.full(4)
+        parents = lat.level(3)
+        children = lat.level(2)
+        est = {u: 50.0 for u in parents}
+        assignment = match_level_replicated(children, parents, est)
+        assert sorted(c for c, _, _ in assignment) == sorted(children)
+
+    def test_infeasible_child_raises(self):
+        with pytest.raises(ValueError):
+            match_level_replicated([(3,)], [(0, 1)], {})
+
+    def test_scan_restriction_respected(self):
+        parents = [(0, 1)]
+        children = [(0,), (1,)]
+        est = {(0, 1): 100.0}
+        assignment = match_level_replicated(
+            children, parents, est, scan_allowed={(0, 1): {(0,)}}
+        )
+        modes = dict((c, m) for c, _, m in assignment)
+        assert modes[(0,)] == "scan"
+        assert modes[(1,)] == "sort"
+
+    @settings(max_examples=20)
+    @given(st.integers(2, 5), st.integers(0, 999))
+    def test_production_matcher_is_optimal_per_level(self, d, seed):
+        """The savings formulation must achieve the replicated matching's
+        optimal cost for an (unconstrained) level pair."""
+        from repro.core.pipesort import ScheduleTree, _match_level
+
+        rng = np.random.default_rng(seed)
+        views = all_views(d)
+        est = {v: float(rng.integers(1, 10_000)) for v in views}
+        lat = Lattice.full(d)
+        for k in range(d - 1, -1, -1):
+            children = lat.level(k)
+            parents = lat.level(k + 1)
+            # drive the production matcher with no pinned chain: stub tree
+            # whose "root" set covers all parents so add() accepts them
+            stub = ScheduleTree(tuple(range(d)), tuple(range(d)))
+            for u in parents:
+                if u != stub.root:
+                    stub.nodes[u] = type(stub.nodes[stub.root])(
+                        u, "sort", None, u
+                    )
+            _match_level(stub, children, parents, est, pinned={})
+            got = tree_level_cost(stub, children, est)
+            optimal = level_cost(
+                match_level_replicated(children, parents, est), est
+            )
+            assert got == pytest.approx(optimal, rel=1e-9), (d, k)
+
+    @settings(max_examples=10)
+    @given(st.integers(2, 5), st.integers(0, 999))
+    def test_full_tree_within_replicated_bound(self, d, seed):
+        """The pinned root chain may cost extra at lower levels, but the
+        whole tree can never beat the per-level unconstrained optima and
+        must stay within the all-sort upper bound."""
+        rng = np.random.default_rng(seed)
+        views = all_views(d)
+        est = {v: float(rng.integers(1, 10_000)) for v in views}
+        tree = build_schedule_tree(views, tuple(range(d)), est)
+        lat = Lattice.full(d)
+        lower = sum(
+            level_cost(
+                match_level_replicated(
+                    lat.level(k), lat.level(k + 1), est
+                ),
+                est,
+            )
+            for k in range(d)
+        )
+        upper = sum(
+            sort_cost(max(est.get(n.parent, 1.0), 1.0))
+            for n in tree.nodes.values()
+            if n.parent is not None
+        )
+        total = tree.estimated_cost(est)
+        assert lower - 1e-6 <= total <= upper + 1e-6

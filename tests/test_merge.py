@@ -1,0 +1,221 @@
+"""Tests for Procedure 3: Merge-Partitions (cases 1, 2 and 3)."""
+
+import numpy as np
+import pytest
+
+from repro.config import CubeConfig, MachineSpec
+from repro.core.merge import (
+    MergeReport,
+    _resolve_boundary_chains,
+    merge_partitions,
+)
+from repro.core.pipesort import ScheduleTree
+from repro.core.viewdata import ViewData
+from repro.mpi.engine import run_spmd
+
+
+class TestBoundaryChains:
+    """P0-side straddle-chain resolution for prefix views.
+
+    Summary tuples are (count, first_key, first_val, last_key, last_val).
+    Instructions are (drop_first, drop_all, set_last).
+    """
+
+    def test_no_straddle(self):
+        instr = _resolve_boundary_chains(
+            [(2, 1, 1.0, 2, 2.0), (2, 3, 3.0, 4, 4.0)], "sum"
+        )
+        assert instr == [(False, False, None), (False, False, None)]
+
+    def test_simple_two_rank_straddle(self):
+        instr = _resolve_boundary_chains(
+            [(2, 1, 1.0, 5, 2.0), (2, 5, 3.0, 9, 4.0)], "sum"
+        )
+        assert instr[0] == (False, False, 5.0)  # 2.0 + 3.0
+        assert instr[1] == (True, False, None)
+
+    def test_three_rank_chain_with_singleton_middle(self):
+        instr = _resolve_boundary_chains(
+            [
+                (3, 0, 1.0, 7, 2.0),
+                (1, 7, 3.0, 7, 3.0),  # whole rank is key 7
+                (2, 7, 4.0, 9, 5.0),
+            ],
+            "sum",
+        )
+        assert instr[0] == (False, False, 9.0)  # 2 + 3 + 4
+        assert instr[1] == (False, True, None)  # dropped entirely
+        assert instr[2] == (True, False, None)
+
+    def test_chain_across_empty_rank(self):
+        instr = _resolve_boundary_chains(
+            [
+                (2, 0, 1.0, 7, 2.0),
+                (0, 0, 0.0, 0, 0.0),  # empty rank
+                (2, 7, 3.0, 9, 4.0),
+            ],
+            "sum",
+        )
+        assert instr[0] == (False, False, 5.0)
+        assert instr[2] == (True, False, None)
+
+    def test_back_to_back_chains(self):
+        # rank1's first row joins rank0's chain; rank1's last row starts a
+        # new chain with rank2.
+        instr = _resolve_boundary_chains(
+            [
+                (2, 0, 1.0, 5, 2.0),
+                (2, 5, 3.0, 8, 4.0),
+                (2, 8, 5.0, 9, 6.0),
+            ],
+            "sum",
+        )
+        assert instr[0] == (False, False, 5.0)  # 2+3
+        assert instr[1] == (True, False, 9.0)  # drops first, owns key 8: 4+5
+        assert instr[2] == (True, False, None)
+
+    def test_min_aggregate(self):
+        instr = _resolve_boundary_chains(
+            [(1, 5, 4.0, 5, 4.0), (1, 5, 2.0, 5, 2.0)], "min"
+        )
+        assert instr[0] == (False, False, 2.0)
+        assert instr[1] == (False, True, None)
+
+    def test_all_ranks_single_same_key(self):
+        instr = _resolve_boundary_chains(
+            [(1, 3, 1.0, 3, 1.0)] * 4, "sum"
+        )
+        assert instr[0] == (False, False, 4.0)
+        for j in range(1, 4):
+            assert instr[j] == (False, True, None)
+
+    def test_single_rank_noop(self):
+        assert _resolve_boundary_chains([(5, 0, 1.0, 9, 2.0)], "sum") == [
+            (False, False, None)
+        ]
+
+
+def run_merge(pieces_per_rank, orders, root_order, gamma=0.03, agg="sum"):
+    """Drive merge_partitions with hand-crafted per-rank ViewData."""
+    p = len(pieces_per_rank)
+    root_view = tuple(sorted(root_order))
+
+    def prog(comm):
+        tree = ScheduleTree(root_view, root_order)
+        local = {}
+        for view_idx, order in enumerate(orders):
+            keys, vals = pieces_per_rank[comm.rank][view_idx]
+            local[tuple(sorted(order))] = ViewData(
+                order,
+                np.asarray(keys, dtype=np.int64),
+                np.asarray(vals, dtype=np.float64),
+            )
+        cfg = CubeConfig(gamma_merge=gamma, agg=agg)
+        merged, report = merge_partitions(comm, local, tree, cfg, 1 << 16)
+        return merged, report
+
+    res = run_spmd(prog, MachineSpec(p=p))
+    return res
+
+
+class TestMergePartitions:
+    def test_prefix_view_boundary_agglomeration(self):
+        # root order (0,1); view (0,) is a prefix view; key 5 straddles
+        pieces = [
+            [([1, 5], [1.0, 2.0])],
+            [([5, 9], [3.0, 4.0])],
+        ]
+        res = run_merge(pieces, orders=[(0,)], root_order=(0, 1))
+        merged0, report0 = res.rank_results[0]
+        merged1, _ = res.rank_results[1]
+        assert report0.cases[(0,)] == "case1"
+        assert merged0[(0,)].keys.tolist() == [1, 5]
+        assert merged0[(0,)].measure.tolist() == [1.0, 5.0]
+        assert merged1[(0,)].keys.tolist() == [9]
+
+    def test_nonprefix_balanced_goes_case2(self):
+        # view order (1,) is NOT a prefix of root order (0,1).
+        # Ranks hold interleaved key ranges with mild overlap.
+        pieces = [
+            [(list(range(0, 50)), [1.0] * 50)],
+            [(list(range(45, 95)), [1.0] * 50)],
+        ]
+        res = run_merge(pieces, orders=[(1,)], root_order=(0, 1), gamma=0.3)
+        merged0, report = res.rank_results[0]
+        merged1, _ = res.rank_results[1]
+        assert report.cases[(1,)] == "case2"
+        keys0 = merged0[(1,)].keys
+        keys1 = merged1[(1,)].keys
+        # overlap keys 45..49 fully aggregated on rank 0 (the owner)
+        all_keys = np.concatenate([keys0, keys1])
+        assert sorted(all_keys.tolist()) == list(range(95))
+        total = merged0[(1,)].measure.sum() + merged1[(1,)].measure.sum()
+        assert total == pytest.approx(100.0)
+        overlap_vals = merged0[(1,)].measure[np.isin(keys0, range(45, 50))]
+        assert np.all(overlap_vals == 2.0)
+
+    def test_nonprefix_imbalanced_goes_case3(self):
+        # every rank's last key is huge -> rank 0 would own everything
+        pieces = [
+            [(list(range(0, 100)) + [10**6], [1.0] * 101)],
+            [(list(range(100, 200)) + [10**6 + 1], [1.0] * 101)],
+        ]
+        res = run_merge(pieces, orders=[(1,)], root_order=(0, 1), gamma=0.03)
+        merged0, report = res.rank_results[0]
+        merged1, _ = res.rank_results[1]
+        assert report.cases[(1,)] == "case3"
+        sizes = np.array(
+            [merged0[(1,)].keys.size, merged1[(1,)].keys.size]
+        )
+        # case 3 re-balances within gamma
+        assert abs(sizes[0] - sizes[1]) / sizes.mean() <= 0.1
+        assert sizes.sum() == 202
+
+    def test_case3_preserves_aggregation(self):
+        # same key appears on both ranks; case 3 must combine it once
+        pieces = [
+            [([7, 10**6], [1.0, 1.0])],
+            [([7, 10**6 + 1], [2.0, 1.0])],
+        ]
+        res = run_merge(
+            pieces, orders=[(1,)], root_order=(0, 1), gamma=0.0001
+        )
+        merged0, _ = res.rank_results[0]
+        merged1, _ = res.rank_results[1]
+        all_keys = np.concatenate(
+            [merged0[(1,)].keys, merged1[(1,)].keys]
+        ).tolist()
+        all_vals = np.concatenate(
+            [merged0[(1,)].measure, merged1[(1,)].measure]
+        ).tolist()
+        combined = dict(zip(all_keys, all_vals))
+        assert combined[7] == pytest.approx(3.0)
+        assert all_keys.count(7) == 1
+
+    def test_root_is_case1(self):
+        pieces = [
+            [([0, 1], [1.0, 1.0])],
+            [([2, 3], [1.0, 1.0])],
+        ]
+        res = run_merge(pieces, orders=[(0, 1)], root_order=(0, 1))
+        _, report = res.rank_results[0]
+        assert report.cases[(0, 1)] == "case1"
+
+    def test_empty_views_survive(self):
+        pieces = [
+            [([], []), ([], [])],
+            [([], []), ([], [])],
+        ]
+        res = run_merge(
+            pieces, orders=[(0, 1), (1,)], root_order=(0, 1)
+        )
+        merged0, report = res.rank_results[0]
+        assert merged0[(0, 1)].nrows == 0
+        assert merged0[(1,)].nrows == 0
+        assert len(report.cases) == 2
+
+    def test_report_counts(self):
+        report = MergeReport(cases={(0,): "case1", (1,): "case3"})
+        assert report.count("case1") == 1
+        assert report.count("case2") == 0
+        assert report.count("case3") == 1

@@ -1,0 +1,201 @@
+"""Tests for the OLAP query layer: Query, QueryPlanner, QueryEngine."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.reference import reference_view
+from repro.config import CubeConfig, MachineSpec
+from repro.core.cube import build_data_cube, build_partial_cube
+from repro.olap import Query, QueryEngine, QueryPlanner
+from repro.storage.table import Relation
+from tests.conftest import make_relation
+
+CARDS = (12, 8, 5, 3)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_relation(5000, CARDS, seed=3)
+
+
+@pytest.fixture(scope="module")
+def cube(dataset):
+    return build_data_cube(dataset, CARDS, MachineSpec(p=4))
+
+
+@pytest.fixture(scope="module")
+def engine(cube):
+    return QueryEngine(cube)
+
+
+def oracle(dataset, group_by, filters=None, agg="sum"):
+    """Answer a query straight from the raw data."""
+    mask = np.ones(dataset.nrows, dtype=bool)
+    for dim, (lo, hi) in (filters or {}).items():
+        mask &= (dataset.dims[:, dim] >= lo) & (dataset.dims[:, dim] <= hi)
+    filtered = Relation(dataset.dims[mask], dataset.measure[mask])
+    return reference_view(filtered, CARDS, group_by, agg)
+
+
+class TestQuery:
+    def test_normalises_group_by(self):
+        q = Query(group_by=(2, 0, 2))
+        assert q.group_by == (0, 2)
+
+    def test_scalar_filter_becomes_range(self):
+        q = Query(group_by=(0,), filters={1: 3})
+        assert q.filters[1] == (3, 3)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            Query(group_by=(0,), filters={1: (5, 2)})
+
+    def test_required_dims_includes_filters(self):
+        q = Query(group_by=(0,), filters={2: (1, 2)})
+        assert q.required_dims == (0, 2)
+
+    def test_describe(self):
+        q = Query(group_by=(0, 1), filters={2: (1, 2)})
+        text = q.describe()
+        assert "GROUP BY AB" in text and "D2 in [1,2]" in text
+
+
+class TestPlanner:
+    def test_picks_smallest_covering_view(self):
+        planner = QueryPlanner({(0,): 10, (0, 1): 50, (0, 1, 2): 200})
+        plan = planner.plan(Query(group_by=(0,)))
+        assert plan.view == (0,)
+        assert plan.scan_rows == 10
+
+    def test_filter_dims_force_bigger_view(self):
+        planner = QueryPlanner({(0,): 10, (0, 1): 50})
+        plan = planner.plan(Query(group_by=(0,), filters={1: (0, 3)}))
+        assert plan.view == (0, 1)
+
+    def test_raises_when_uncovered(self):
+        planner = QueryPlanner({(0,): 10})
+        with pytest.raises(LookupError):
+            planner.plan(Query(group_by=(1,)))
+
+    def test_tie_breaks_deterministically(self):
+        planner = QueryPlanner({(0, 1): 50, (0, 2): 50})
+        assert planner.plan(Query(group_by=(0,))).view == (0, 1)
+
+
+class TestEngine:
+    def test_plain_group_by(self, dataset, engine):
+        for group_by in [(), (0,), (1, 3), (0, 1, 2, 3)]:
+            got = engine.answer(Query(group_by=group_by))
+            assert got.same_content(oracle(dataset, group_by)), group_by
+
+    def test_filtered_group_by(self, dataset, engine):
+        q = Query(group_by=(1,), filters={0: (2, 7), 3: (0, 1)})
+        got = engine.answer(q)
+        assert got.same_content(
+            oracle(dataset, (1,), {0: (2, 7), 3: (0, 1)})
+        )
+
+    def test_highly_selective_filter(self, dataset, engine):
+        filters = {0: (11, 11), 2: (4, 4), 3: (2, 2)}
+        q = Query(group_by=(1,), filters=filters)
+        got = engine.answer(q)
+        assert got.same_content(oracle(dataset, (1,), filters))
+
+    def test_having_iceberg(self, dataset, engine):
+        full = engine.answer(Query(group_by=(0,)))
+        threshold = float(np.median(full.measure))
+        got = engine.answer(Query(group_by=(0,), having=(">=", threshold)))
+        assert got.nrows == int((full.measure >= threshold).sum())
+        assert np.all(got.measure >= threshold)
+
+    def test_having_parallel_matches(self, engine):
+        q = Query(group_by=(1,), having=(">", 5000.0))
+        gathered = engine.answer(q)
+        parallel, _ = engine.answer_parallel(q)
+        assert parallel.same_content(gathered)
+
+    def test_having_ops(self, engine):
+        full = engine.answer(Query(group_by=(2,)))
+        t = float(full.measure.mean())
+        below = engine.answer(Query(group_by=(2,), having=("<", t)))
+        above = engine.answer(Query(group_by=(2,), having=(">=", t)))
+        assert below.nrows + above.nrows == full.nrows
+
+    def test_having_bad_op(self):
+        with pytest.raises(ValueError, match="having op"):
+            Query(group_by=(0,), having=("==", 1.0))
+
+    def test_having_in_describe(self):
+        q = Query(group_by=(0,), having=(">=", 10.0))
+        assert "HAVING" in q.describe()
+
+    def test_empty_cube_query(self):
+        from repro.storage.table import Relation
+
+        empty = build_data_cube(
+            Relation.empty(len(CARDS)), CARDS, MachineSpec(p=2)
+        )
+        got = QueryEngine(empty).answer(Query(group_by=(0,)))
+        assert got.nrows == 0
+
+    def test_explain_view_covers_query(self, engine):
+        q = Query(group_by=(1,), filters={2: (0, 1)})
+        plan = engine.explain(q)
+        assert set(q.required_dims) <= set(plan.view)
+
+    def test_parallel_matches_gathered(self, dataset, engine):
+        for q in [
+            Query(group_by=(0,)),
+            Query(group_by=(1, 2), filters={0: (0, 5)}),
+            Query(group_by=()),
+        ]:
+            gathered = engine.answer(q)
+            parallel, secs = engine.answer_parallel(q)
+            assert parallel.same_content(gathered), q
+            assert secs > 0
+
+    def test_parallel_wrong_p_rejected(self, engine):
+        with pytest.raises(ValueError, match="p="):
+            engine.answer_parallel(Query(group_by=(0,)), MachineSpec(p=3))
+
+    def test_count_cube_queries(self, dataset):
+        cube = build_data_cube(
+            dataset, CARDS, MachineSpec(p=3), CubeConfig(agg="count")
+        )
+        engine = QueryEngine(cube)
+        got = engine.answer(Query(group_by=(2,)))
+        want = oracle(dataset, (2,), agg="count")
+        assert got.same_content(want)
+
+    def test_min_cube_queries(self, dataset):
+        cube = build_data_cube(
+            dataset, CARDS, MachineSpec(p=3), CubeConfig(agg="min")
+        )
+        engine = QueryEngine(cube)
+        got = engine.answer(Query(group_by=(0, 3)))
+        assert got.same_content(oracle(dataset, (0, 3), agg="min"))
+
+    def test_partial_cube_coverage_errors(self, dataset):
+        cube = build_partial_cube(
+            dataset, CARDS, [(0,), (0, 1)], MachineSpec(p=2)
+        )
+        engine = QueryEngine(cube)
+        assert engine.answer(Query(group_by=(0,))).nrows > 0
+        with pytest.raises(LookupError):
+            engine.answer(Query(group_by=(2,)))
+
+    def test_balance_bounds_parallel_latency(self, dataset):
+        """The gamma contract pays off at query time: a balanced cube
+        answers a big-view scan faster than a deliberately loose one."""
+        skewed = make_relation(6000, CARDS, seed=9, alphas=(2.5, 0, 0, 0))
+        tight = build_data_cube(
+            skewed, CARDS, MachineSpec(p=4), CubeConfig(gamma_merge=0.03)
+        )
+        q = Query(group_by=(1, 2, 3))
+        _, t_tight = QueryEngine(tight).answer_parallel(q)
+        # worst case comparison: all rows of the view on one rank
+        view = QueryEngine(tight).explain(q).view
+        rows = tight.view_rows(view)
+        spec = MachineSpec(p=4)
+        per_rank = tight.distribution(view)
+        assert per_rank.max() < rows  # actually distributed

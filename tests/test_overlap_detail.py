@@ -1,0 +1,59 @@
+"""Finer-grained tests for the overlap analysis internals."""
+
+import pytest
+
+from repro.config import MachineSpec
+from repro.core.cube import build_data_cube
+from repro.core.overlap import OverlapReport, _split_phases, analyze_overlap
+from tests.conftest import make_relation
+
+
+class TestSplitPhases:
+    def test_parses_indexed_phases(self):
+        out = _split_phases(
+            {"merge[0]": 1.0, "partition-sort[3]": 2.0, "startup": 9.0}
+        )
+        assert out == {("merge", 0): 1.0, ("partition-sort", 3): 2.0}
+
+    def test_ignores_unindexed(self):
+        assert _split_phases({"seq-sort": 1.0}) == {}
+
+
+class TestReportArithmetic:
+    def test_masked_fraction_zero_comm(self):
+        report = OverlapReport(1.0, 0.0, 0.0, 1.0, [])
+        assert report.masked_fraction == 0.0
+        assert report.speedup_gain() == 1.0
+
+    def test_speedup_gain(self):
+        report = OverlapReport(2.0, 1.0, 0.5, 1.5, [])
+        assert report.speedup_gain() == pytest.approx(2.0 / 1.5)
+
+
+class TestPerPartitionStructure:
+    @pytest.fixture(scope="class")
+    def report(self):
+        rel = make_relation(6000, (12, 8, 6, 4), seed=13)
+        cube = build_data_cube(rel, (12, 8, 6, 4), MachineSpec(p=8))
+        return analyze_overlap(cube)
+
+    def test_one_row_per_partition(self, report):
+        ids = [i for i, _, _, _ in report.per_partition]
+        assert ids == sorted(set(ids))
+        assert len(ids) == 4  # d partitions
+
+    def test_masked_bounded_by_both_sides(self, report):
+        for _, merge_comm, next_compute, masked in report.per_partition:
+            assert masked <= merge_comm + 1e-12
+            assert masked <= next_compute + 1e-12
+
+    def test_totals_match_details(self, report):
+        assert report.maskable_seconds == pytest.approx(
+            sum(m for _, _, _, m in report.per_partition)
+        )
+        assert report.merge_comm_seconds == pytest.approx(
+            sum(c for _, c, _, _ in report.per_partition)
+        )
+
+    def test_overlapped_never_negative(self, report):
+        assert report.overlapped_seconds >= 0

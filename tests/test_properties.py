@@ -1,0 +1,153 @@
+"""Cross-module property-based tests (hypothesis).
+
+These push randomised inputs through whole subsystems and check the
+invariants DESIGN.md section 6 promises.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.reference import reference_cube
+from repro.config import CubeConfig, MachineSpec
+from repro.core.cube import build_data_cube
+from repro.core.pipesort import build_schedule_tree
+from repro.core.partial import build_partial_schedule_tree
+from repro.core.views import all_views
+from repro.data.generator import DatasetSpec, generate_dataset
+from repro.olap import Query, QueryEngine
+
+
+@st.composite
+def small_dataset(draw):
+    d = draw(st.integers(1, 4))
+    cards = sorted(
+        (draw(st.integers(2, 12)) for _ in range(d)), reverse=True
+    )
+    n = draw(st.integers(0, 300))
+    alphas = tuple(draw(st.floats(0, 2)) for _ in range(d))
+    seed = draw(st.integers(0, 99))
+    spec = DatasetSpec(n, tuple(cards), alphas, seed=seed)
+    return generate_dataset(spec), tuple(cards)
+
+
+class TestCubeInvariants:
+    @settings(max_examples=12)
+    @given(small_dataset(), st.integers(1, 5))
+    def test_cube_equals_oracle(self, data_cards, p):
+        data, cards = data_cards
+        cube = build_data_cube(data, cards, MachineSpec(p=p))
+        ref = reference_cube(data, cards)
+        for view, want in ref.items():
+            assert cube.view_relation(view).same_content(want)
+
+    @settings(max_examples=12)
+    @given(small_dataset(), st.integers(2, 4))
+    def test_keys_globally_unique_per_view(self, data_cards, p):
+        data, cards = data_cards
+        cube = build_data_cube(data, cards, MachineSpec(p=p))
+        for view in cube.views:
+            keys = np.concatenate(
+                [rv[view].keys for rv in cube.rank_views]
+            )
+            assert np.unique(keys).size == keys.size
+
+    @settings(max_examples=12)
+    @given(small_dataset(), st.integers(1, 4))
+    def test_grand_total_invariant(self, data_cards, p):
+        """Every view's measure sums to the raw grand total (sum agg)."""
+        data, cards = data_cards
+        cube = build_data_cube(data, cards, MachineSpec(p=p))
+        grand = data.measure.sum()
+        for view in cube.views:
+            total = sum(
+                rv[view].measure.sum() for rv in cube.rank_views
+            )
+            assert total == pytest.approx(grand, rel=1e-9, abs=1e-6)
+
+    @settings(max_examples=10)
+    @given(small_dataset(), st.sampled_from(["count", "min", "max"]))
+    def test_other_aggregates_match_oracle(self, data_cards, agg):
+        data, cards = data_cards
+        cube = build_data_cube(
+            data, cards, MachineSpec(p=3), CubeConfig(agg=agg)
+        )
+        ref = reference_cube(data, cards, agg=agg)
+        for view, want in ref.items():
+            assert cube.view_relation(view).same_content(want)
+
+    @settings(max_examples=10)
+    @given(small_dataset(), st.data())
+    def test_rollup_consistency(self, data_cards, data_strategy):
+        """Summing a child view over its extra dims equals the parent —
+        for SUM cubes, any pair of nested views must agree."""
+        data, cards = data_cards
+        d = len(cards)
+        cube = build_data_cube(data, cards, MachineSpec(p=2))
+        views = all_views(d)
+        child = data_strategy.draw(st.sampled_from(views))
+        parents = [v for v in views if set(child) < set(v)]
+        if not parents:
+            return
+        parent = data_strategy.draw(st.sampled_from(parents))
+        child_rel = cube.view_relation(child)
+        parent_rel = cube.view_relation(parent)
+        assert child_rel.measure.sum() == pytest.approx(
+            parent_rel.measure.sum(), rel=1e-9, abs=1e-6
+        )
+
+
+class TestQueryProperties:
+    @settings(max_examples=10)
+    @given(small_dataset(), st.data())
+    def test_any_query_equals_raw_aggregation(self, data_cards, ds):
+        data, cards = data_cards
+        d = len(cards)
+        cube = build_data_cube(data, cards, MachineSpec(p=2))
+        engine = QueryEngine(cube)
+        group_by = ds.draw(st.sampled_from(all_views(d)))
+        filter_dim = ds.draw(st.integers(0, d - 1))
+        lo = ds.draw(st.integers(0, cards[filter_dim] - 1))
+        hi = ds.draw(st.integers(lo, cards[filter_dim] - 1))
+        query = Query(group_by=group_by, filters={filter_dim: (lo, hi)})
+        got = engine.answer(query)
+        mask = (data.dims[:, filter_dim] >= lo) & (
+            data.dims[:, filter_dim] <= hi
+        )
+        from repro.baselines.reference import reference_view
+        from repro.storage.table import Relation
+
+        want = reference_view(
+            Relation(data.dims[mask], data.measure[mask]), cards, group_by
+        )
+        assert got.same_content(want)
+
+
+class TestScheduleTreeProperties:
+    @settings(max_examples=15)
+    @given(st.integers(1, 6), st.integers(0, 999))
+    def test_full_tree_valid_under_random_estimates(self, d, seed):
+        rng = np.random.default_rng(seed)
+        views = all_views(d)
+        est = {v: float(rng.integers(1, 10**6)) for v in views}
+        tree = build_schedule_tree(views, tuple(range(d)), est)
+        tree.validate()
+        assert set(tree.views()) == set(views)
+
+    @settings(max_examples=15)
+    @given(st.integers(2, 6), st.data())
+    def test_partial_tree_valid_for_random_selections(self, d, ds):
+        views = all_views(d)
+        selected = ds.draw(
+            st.lists(st.sampled_from(views), min_size=1, max_size=10)
+        )
+        rng = np.random.default_rng(ds.draw(st.integers(0, 99)))
+        est = {v: float(rng.integers(1, 10**4)) for v in views}
+        root = tuple(range(d))
+        tree = build_partial_schedule_tree(
+            [v for v in selected if v != root], root, est
+        )
+        tree.validate()
+        for v in selected:
+            assert v == root or v in tree

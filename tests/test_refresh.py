@@ -1,0 +1,119 @@
+"""Tests for incremental cube maintenance (refresh_cube)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.reference import reference_cube
+from repro.config import CubeConfig, MachineSpec
+from repro.core.cube import build_data_cube, build_partial_cube
+from repro.core.validate import validate_cube
+from repro.olap.refresh import refresh_cube
+from repro.storage.table import Relation
+from tests.conftest import make_relation
+
+CARDS = (10, 6, 4)
+
+
+def split(rel, n_first):
+    return rel.slice(0, n_first), rel.slice(n_first, rel.nrows)
+
+
+class TestRefresh:
+    def test_equals_full_rebuild(self):
+        rel = make_relation(3000, CARDS, seed=40)
+        first, extra = split(rel, 2000)
+        spec = MachineSpec(p=3)
+        cube = build_data_cube(first, CARDS, spec)
+        refreshed = refresh_cube(cube, extra, spec)
+        want = reference_cube(rel, CARDS)
+        for view, rel_want in want.items():
+            assert refreshed.view_relation(view).same_content(rel_want), view
+
+    def test_refreshed_cube_is_valid(self):
+        rel = make_relation(2500, CARDS, seed=41)
+        first, extra = split(rel, 1500)
+        cube = build_data_cube(first, CARDS, MachineSpec(p=4))
+        refreshed = refresh_cube(cube, extra)
+        report = validate_cube(refreshed)
+        assert report.ok, report.describe()
+
+    def test_original_cube_untouched(self):
+        rel = make_relation(2000, CARDS, seed=42)
+        first, extra = split(rel, 1000)
+        cube = build_data_cube(first, CARDS, MachineSpec(p=2))
+        before = cube.total_rows()
+        refresh_cube(cube, extra)
+        assert cube.total_rows() == before
+
+    def test_chained_refreshes(self):
+        rel = make_relation(3000, CARDS, seed=43)
+        a, rest = split(rel, 1000)
+        b, c = split(rest, 1000)
+        cube = build_data_cube(a, CARDS, MachineSpec(p=3))
+        cube = refresh_cube(cube, b)
+        cube = refresh_cube(cube, c)
+        want = reference_cube(rel, CARDS)
+        for view, rel_want in want.items():
+            assert cube.view_relation(view).same_content(rel_want), view
+
+    def test_empty_delta(self):
+        rel = make_relation(1200, CARDS, seed=44)
+        cube = build_data_cube(rel, CARDS, MachineSpec(p=2))
+        refreshed = refresh_cube(cube, Relation.empty(len(CARDS)))
+        for view in cube.views:
+            assert refreshed.view_relation(view).same_content(
+                cube.view_relation(view)
+            )
+
+    @pytest.mark.parametrize("agg", ["count", "min", "max"])
+    def test_other_aggregates(self, agg):
+        rel = make_relation(2000, CARDS, seed=45)
+        first, extra = split(rel, 1200)
+        cube = build_data_cube(
+            first, CARDS, MachineSpec(p=3), CubeConfig(agg=agg)
+        )
+        refreshed = refresh_cube(cube, extra, config=CubeConfig(agg=agg))
+        want = reference_cube(rel, CARDS, agg=agg)
+        for view, rel_want in want.items():
+            assert refreshed.view_relation(view).same_content(rel_want), (
+                agg, view,
+            )
+
+    def test_agg_mismatch_rejected(self):
+        rel = make_relation(500, CARDS, seed=46)
+        cube = build_data_cube(rel, CARDS, MachineSpec(p=2))
+        with pytest.raises(ValueError, match="aggregates"):
+            refresh_cube(cube, rel, config=CubeConfig(agg="min"))
+
+    def test_partial_cube_rejected(self):
+        rel = make_relation(500, CARDS, seed=47)
+        cube = build_partial_cube(rel, CARDS, [(0,)], MachineSpec(p=2))
+        with pytest.raises(ValueError, match="full cube"):
+            refresh_cube(cube, rel)
+
+    def test_cheaper_than_rebuild_for_small_delta(self):
+        rel = make_relation(20_000, (16, 12, 8, 6), seed=48)
+        first, extra = split(rel, 19_000)
+        spec = MachineSpec(p=4)
+        cube = build_data_cube(first, (16, 12, 8, 6), spec)
+        refreshed = refresh_cube(cube, extra, spec)
+        rebuild = build_data_cube(rel, (16, 12, 8, 6), spec)
+        # the 5% delta must not cost a full rebuild's partition phase
+        assert (
+            refreshed.metrics.simulated_seconds
+            < rebuild.metrics.simulated_seconds
+        )
+
+    @settings(max_examples=8)
+    @given(st.integers(0, 300), st.integers(0, 300), st.integers(2, 4))
+    def test_property_equivalence(self, n1, n2, p):
+        cards = (7, 5, 3)
+        rel = make_relation(n1 + n2, cards, seed=n1 * 7 + n2)
+        first, extra = split(rel, n1)
+        cube = build_data_cube(first, cards, MachineSpec(p=p))
+        refreshed = refresh_cube(cube, extra)
+        want = reference_cube(rel, cards)
+        for view, rel_want in want.items():
+            assert refreshed.view_relation(view).same_content(rel_want)

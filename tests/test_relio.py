@@ -1,0 +1,132 @@
+"""Tests for CSV ingestion / view export (repro.storage.relio)."""
+
+import numpy as np
+import pytest
+
+from repro.config import MachineSpec
+from repro.core.cube import build_data_cube
+from repro.storage.relio import (
+    EncodedDataset,
+    encode_dimensions,
+    read_csv,
+    write_view_csv,
+)
+
+CSV_TEXT = """region,store,channel,revenue
+east,s1,web,10.5
+west,s2,web,3.25
+east,s1,app,2.0
+east,s3,web,7.75
+north,s2,app,1.0
+west,s1,web,4.5
+"""
+
+
+@pytest.fixture()
+def csv_path(tmp_path):
+    path = tmp_path / "facts.csv"
+    path.write_text(CSV_TEXT)
+    return str(path)
+
+
+class TestEncodeDimensions:
+    def test_cardinality_ordering(self):
+        ds = encode_dimensions(
+            [["a", "b"], ["x", "x"], ["p", "q"]],
+            ["two1", "one", "two2"],
+            [1.0, 2.0],
+        )
+        # ties keep original position: two1 before two2, 'one' last
+        assert ds.names == ("two1", "two2", "one")
+        assert ds.cardinalities == (2, 2, 1)
+
+    def test_codes_within_cardinality(self):
+        ds = encode_dimensions(
+            [["a", "b", "a", "c"]], ["d"], [1, 2, 3, 4]
+        )
+        assert ds.relation.dims[:, 0].max() < ds.cardinalities[0]
+
+    def test_decode_roundtrip(self):
+        raw = ["banana", "apple", "banana", "cherry"]
+        ds = encode_dimensions([raw], ["fruit"], [1, 1, 1, 1])
+        decoded = ds.decode(0, ds.relation.dims[:, 0])
+        assert decoded == raw
+
+    def test_deterministic_encoding(self):
+        a = encode_dimensions([["b", "a"]], ["x"], [1, 2])
+        b = encode_dimensions([["b", "a"]], ["x"], [1, 2])
+        assert np.array_equal(a.relation.dims, b.relation.dims)
+        assert a.dictionaries == b.dictionaries
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="names"):
+            encode_dimensions([["a"]], ["x", "y"], [1.0])
+        with pytest.raises(ValueError, match="values"):
+            encode_dimensions([["a", "b"]], ["x"], [1.0])
+
+    def test_view_of_and_dim_index(self):
+        ds = encode_dimensions(
+            [["a", "b"], ["x", "y"]], ["one", "two"], [1, 2]
+        )
+        assert ds.view_of("one", "two") == (0, 1)
+        with pytest.raises(KeyError):
+            ds.dim_index("three")
+
+
+class TestReadCsv:
+    def test_load_shapes(self, csv_path):
+        ds = read_csv(csv_path, ["region", "store", "channel"], "revenue")
+        assert ds.relation.nrows == 6
+        # cardinalities: region 3, store 3, channel 2 -> region/store tie
+        assert ds.cardinalities == (3, 3, 2)
+        assert ds.names[2] == "channel"
+        assert ds.measure_name == "revenue"
+
+    def test_measure_values(self, csv_path):
+        ds = read_csv(csv_path, ["region"], "revenue")
+        assert ds.relation.measure.sum() == pytest.approx(29.0)
+
+    def test_missing_column(self, csv_path):
+        with pytest.raises(ValueError, match="missing columns"):
+            read_csv(csv_path, ["region", "nope"], "revenue")
+
+    def test_non_numeric_measure(self, csv_path):
+        with pytest.raises(ValueError, match="not numeric"):
+            read_csv(csv_path, ["revenue"], "region")
+
+    def test_empty_file(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="empty CSV"):
+            read_csv(str(empty), ["a"], "m")
+
+
+class TestEndToEnd:
+    def test_csv_to_cube_to_csv(self, csv_path, tmp_path):
+        """The full relational loop: CSV in, cube, view CSV out."""
+        ds = read_csv(csv_path, ["region", "store", "channel"], "revenue")
+        cube = build_data_cube(
+            ds.relation, ds.cardinalities, MachineSpec(p=2)
+        )
+        view = ds.view_of("region")
+        rel = cube.view_relation(view)
+        out = write_view_csv(
+            str(tmp_path / "by_region.csv"), rel, view, ds
+        )
+        import csv as csvmod
+
+        with open(out) as fh:
+            rows = list(csvmod.DictReader(fh))
+        by_region = {row["region"]: float(row["revenue"]) for row in rows}
+        assert by_region["east"] == pytest.approx(10.5 + 2.0 + 7.75)
+        assert by_region["west"] == pytest.approx(3.25 + 4.5)
+        assert by_region["north"] == pytest.approx(1.0)
+
+    def test_export_validation(self, csv_path, tmp_path):
+        ds = read_csv(csv_path, ["region", "channel"], "revenue")
+        cube = build_data_cube(
+            ds.relation, ds.cardinalities, MachineSpec(p=2)
+        )
+        rel = cube.view_relation((0,))
+        with pytest.raises(ValueError, match="wide"):
+            write_view_csv(str(tmp_path / "x.csv"), rel, (0, 1), ds)

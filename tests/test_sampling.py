@@ -1,0 +1,125 @@
+"""Tests for repro.core.sampling: the decimation sample of Section 2.4."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.sampling import (
+    DecimationSampler,
+    decimation_sample,
+    estimate_range_count,
+)
+
+
+class TestStreamingSampler:
+    def test_underfull_keeps_everything(self):
+        s = DecimationSampler(10)
+        s.feed(np.arange(7))
+        assert s.sample().tolist() == list(range(7))
+        assert s.stride == 1
+
+    def test_exact_capacity(self):
+        s = DecimationSampler(8)
+        s.feed(np.arange(8))
+        assert s.sample().tolist() == list(range(8))
+
+    def test_first_decimation(self):
+        s = DecimationSampler(4)
+        s.feed(np.arange(8))
+        # after index 4 arrives: keep 0,2 then stride 2 -> 0,2,4,6
+        assert s.sample().tolist() == [0, 2, 4, 6]
+        assert s.stride == 2
+
+    def test_double_decimation(self):
+        s = DecimationSampler(4)
+        s.feed(np.arange(17))
+        assert s.stride == 8
+        assert s.sample().tolist() == [0, 8, 16]
+
+    def test_chunked_feed_equals_single_feed(self):
+        keys = np.arange(100)
+        a = DecimationSampler(16)
+        a.feed(keys)
+        b = DecimationSampler(16)
+        for chunk in np.array_split(keys, 7):
+            b.feed(chunk)
+        assert a.sample().tolist() == b.sample().tolist()
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            DecimationSampler(0)
+
+    @given(st.integers(0, 2000), st.integers(1, 64))
+    def test_streaming_equals_vectorised(self, n, capacity):
+        keys = np.arange(n, dtype=np.int64) * 3
+        s = DecimationSampler(capacity)
+        s.feed(keys)
+        assert s.sample().tolist() == decimation_sample(keys, capacity).tolist()
+
+    @given(st.integers(1, 3000), st.integers(1, 64))
+    def test_size_bounds(self, n, capacity):
+        sample = decimation_sample(np.arange(n, dtype=np.int64), capacity)
+        assert 1 <= sample.size <= capacity
+        if n > capacity:
+            assert sample.size > capacity // 2  # never worse than half full
+
+    @given(st.integers(1, 3000), st.integers(1, 64))
+    def test_stride_is_power_of_two(self, n, capacity):
+        keys = np.arange(n, dtype=np.int64)
+        sample = decimation_sample(keys, capacity)
+        if sample.size > 1:
+            stride = sample[1] - sample[0]
+            assert stride & (stride - 1) == 0
+            assert np.all(np.diff(sample) == stride)
+
+
+class TestVectorised:
+    def test_empty(self):
+        assert decimation_sample(np.empty(0, dtype=np.int64), 8).size == 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            decimation_sample(np.arange(3), 0)
+
+
+class TestRangeCountEstimation:
+    def test_exact_on_full_sample(self):
+        keys = np.arange(100, dtype=np.int64)
+        boundaries = np.array([24, 49, 74], dtype=np.int64)
+        est = estimate_range_count(keys, 100, boundaries)
+        assert est.tolist() == [25.0, 25.0, 25.0, 25.0]
+
+    def test_sums_to_total(self):
+        keys = np.sort(np.random.default_rng(0).integers(0, 10**6, 5000))
+        sample = decimation_sample(keys, 128)
+        boundaries = np.array([10**5, 5 * 10**5], dtype=np.int64)
+        est = estimate_range_count(sample, 5000, boundaries)
+        assert est.sum() == pytest.approx(5000)
+
+    def test_paper_accuracy_claim(self):
+        """100·p equally spaced samples give ~1/p% accuracy for |v'_j|."""
+        p = 8
+        rng = np.random.default_rng(1)
+        keys = np.sort(rng.integers(0, 2**40, 200_000))
+        sample = decimation_sample(keys, 100 * p)
+        boundaries = keys[:: len(keys) // p][1:p]
+        est = estimate_range_count(sample, len(keys), boundaries)
+        true = np.diff(
+            np.concatenate(
+                ([0], np.searchsorted(keys, boundaries, "right"), [len(keys)])
+            )
+        )
+        rel_err = np.abs(est - true) / len(keys)
+        assert rel_err.max() < 0.02  # within 2% of the total
+
+    def test_empty_inputs(self):
+        est = estimate_range_count(
+            np.empty(0, dtype=np.int64), 0, np.array([5], dtype=np.int64)
+        )
+        assert est.tolist() == [0.0, 0.0]
+
+    def test_all_below_first_boundary(self):
+        keys = np.arange(10, dtype=np.int64)
+        est = estimate_range_count(keys, 10, np.array([100], dtype=np.int64))
+        assert est.tolist() == [10.0, 0.0]

@@ -1,0 +1,168 @@
+"""Tests for repro.storage.table.Relation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.table import Relation
+
+
+def rel(rows, measures):
+    return Relation.from_rows(rows, measures)
+
+
+class TestConstruction:
+    def test_basic(self):
+        r = rel([(1, 2), (3, 4)], [1.0, 2.0])
+        assert r.nrows == 2
+        assert r.width == 2
+        assert len(r) == 2
+
+    def test_dtype_coercion(self):
+        r = Relation(
+            np.array([[1, 2]], dtype=np.int32),
+            np.array([1], dtype=np.int64),
+        )
+        assert r.dims.dtype == np.int64
+        assert r.measure.dtype == np.float64
+
+    def test_rejects_mismatched_rows(self):
+        with pytest.raises(ValueError, match="row count mismatch"):
+            Relation(np.zeros((3, 2), dtype=np.int64), np.zeros(2))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="dims must be 2-D"):
+            Relation(np.zeros(3, dtype=np.int64), np.zeros(3))
+        with pytest.raises(ValueError, match="measure must be 1-D"):
+            Relation(np.zeros((3, 2), dtype=np.int64), np.zeros((3, 1)))
+
+    def test_empty(self):
+        r = Relation.empty(5)
+        assert r.nrows == 0 and r.width == 5
+
+    def test_empty_rejects_negative_width(self):
+        with pytest.raises(ValueError):
+            Relation.empty(-1)
+
+    def test_zero_width_rows(self):
+        r = Relation.from_rows([], [1.0, 2.0])
+        assert r.width == 0 and r.nrows == 2
+
+    def test_nbytes_positive(self):
+        assert rel([(1,)], [1.0]).nbytes > 0
+
+
+class TestConcat:
+    def test_two_parts(self):
+        a = rel([(1,)], [1.0])
+        b = rel([(2,)], [2.0])
+        c = Relation.concat([a, b])
+        assert c.nrows == 2
+        assert c.dims[:, 0].tolist() == [1, 2]
+
+    def test_single_part_returns_same(self):
+        a = rel([(1,)], [1.0])
+        assert Relation.concat([a]) is a
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(ValueError):
+            Relation.concat([])
+
+    def test_rejects_width_mismatch(self):
+        a = rel([(1,)], [1.0])
+        b = rel([(1, 2)], [1.0])
+        with pytest.raises(ValueError, match="width mismatch"):
+            Relation.concat([a, b])
+
+    def test_skips_none_entries(self):
+        a = rel([(1,)], [1.0])
+        assert Relation.concat([None, a]).nrows == 1
+
+
+class TestRowOps:
+    def test_take(self):
+        r = rel([(1,), (2,), (3,)], [1.0, 2.0, 3.0])
+        t = r.take(np.array([2, 0]))
+        assert t.dims[:, 0].tolist() == [3, 1]
+        assert t.measure.tolist() == [3.0, 1.0]
+
+    def test_slice_is_view(self):
+        r = rel([(1,), (2,), (3,)], [1.0, 2.0, 3.0])
+        s = r.slice(1, 3)
+        assert s.nrows == 2
+        assert s.dims.base is not None  # zero-copy view
+
+    def test_project(self):
+        r = rel([(1, 2, 3)], [1.0])
+        p = r.project([2, 0])
+        assert p.dims[0].tolist() == [3, 1]
+
+    def test_project_rejects_out_of_range(self):
+        r = rel([(1, 2)], [1.0])
+        with pytest.raises(IndexError):
+            r.project([2])
+
+
+class TestSorting:
+    def test_sort_lex_primary_first_column(self):
+        r = rel([(2, 0), (1, 9), (1, 3)], [1.0, 2.0, 3.0])
+        s = r.sort_lex()
+        assert s.dims.tolist() == [[1, 3], [1, 9], [2, 0]]
+        assert s.measure.tolist() == [3.0, 2.0, 1.0]
+
+    def test_is_sorted_lex(self):
+        assert rel([(1, 1), (1, 2), (2, 0)], [0, 0, 0]).is_sorted_lex()
+        assert not rel([(1, 2), (1, 1)], [0, 0]).is_sorted_lex()
+
+    def test_trivially_sorted(self):
+        assert Relation.empty(3).is_sorted_lex()
+        assert rel([(5, 5)], [1.0]).is_sorted_lex()
+        assert Relation.from_rows([], [1.0, 2.0]).is_sorted_lex()
+
+    def test_sort_idempotent_on_sorted(self):
+        r = rel([(1, 1), (1, 2)], [0, 0])
+        assert r.sort_lex() is r or r.sort_lex().same_content(r)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)),
+            min_size=0,
+            max_size=50,
+        )
+    )
+    def test_sort_lex_property(self, rows):
+        r = rel(rows, [float(i) for i in range(len(rows))])
+        s = r.sort_lex()
+        assert s.is_sorted_lex()
+        assert sorted(map(tuple, s.dims.tolist())) == sorted(
+            map(tuple, r.dims.tolist())
+        )
+
+
+class TestComparison:
+    def test_same_content_order_independent(self):
+        a = rel([(1, 1), (2, 2)], [1.0, 2.0])
+        b = rel([(2, 2), (1, 1)], [2.0, 1.0])
+        assert a.same_content(b)
+
+    def test_same_content_detects_measure_diff(self):
+        a = rel([(1, 1)], [1.0])
+        b = rel([(1, 1)], [1.5])
+        assert not a.same_content(b)
+
+    def test_same_content_detects_row_diff(self):
+        a = rel([(1, 1)], [1.0])
+        b = rel([(1, 2)], [1.0])
+        assert not a.same_content(b)
+
+    def test_same_content_detects_size_diff(self):
+        a = rel([(1, 1)], [1.0])
+        b = rel([(1, 1), (1, 1)], [0.5, 0.5])
+        assert not a.same_content(b)
+
+    def test_canonical_is_hashable_and_stable(self):
+        a = rel([(2, 2), (1, 1)], [2.0, 1.0])
+        b = rel([(1, 1), (2, 2)], [1.0, 2.0])
+        assert a.canonical() == b.canonical()
+        assert hash(a.canonical()) == hash(b.canonical())

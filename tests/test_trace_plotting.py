@@ -1,0 +1,91 @@
+"""Tests for diagnostics: superstep traces, timelines, ASCII charts."""
+
+import json
+
+import numpy as np
+
+from repro.bench.harness import Series, SeriesPoint
+from repro.bench.plotting import ascii_chart
+from repro.config import MachineSpec
+from repro.mpi.engine import run_spmd
+from repro.mpi.trace import phase_summary, render_timeline, trace_to_json
+
+
+def run_traced():
+    def prog(comm):
+        comm.set_phase("alpha")
+        comm.disk.work.charge_scan(500_000)
+        comm.allgather(np.zeros(1000, dtype=np.int64))
+        comm.set_phase("beta")
+        comm.barrier()
+
+    return run_spmd(prog, MachineSpec(p=3))
+
+
+class TestTrace:
+    def test_json_roundtrip(self):
+        res = run_traced()
+        payload = json.loads(trace_to_json(res.clock))
+        assert payload["simulated_seconds"] > 0
+        assert len(payload["supersteps"]) == 2
+        kinds = [s["kind"] for s in payload["supersteps"]]
+        assert kinds == ["allgather", "barrier"]
+
+    def test_json_totals_consistent(self):
+        res = run_traced()
+        payload = json.loads(trace_to_json(res.clock))
+        assert payload["compute_seconds"] + payload["comm_seconds"] <= (
+            payload["simulated_seconds"] + 1e-9
+        )
+
+    def test_phase_summary(self):
+        res = run_traced()
+        rows = phase_summary(res.clock)
+        phases = {r[0] for r in rows}
+        assert "alpha" in phases
+        total_steps = sum(r[3] for r in rows)
+        assert total_steps == 2
+
+    def test_timeline_renders(self):
+        res = run_traced()
+        text = render_timeline(res.clock)
+        assert "supersteps" in text
+        assert "alpha" in text
+        assert "|" in text
+
+    def test_timeline_empty_clock(self):
+        res = run_spmd(lambda c: None, MachineSpec(p=2))
+        text = render_timeline(res.clock)
+        assert "0 supersteps" in text
+
+
+def demo_series():
+    s1 = Series(label="fast", x_name="p")
+    s2 = Series(label="slow", x_name="p")
+    for p in (1, 2, 4, 8):
+        s1.points.append(SeriesPoint(x=p, seconds=10 / p, speedup=float(p), comm_mb=p * 2.0))
+        s2.points.append(SeriesPoint(x=p, seconds=20 / p, speedup=p / 2.0, comm_mb=p * 1.0))
+    return [s1, s2]
+
+
+class TestAsciiChart:
+    def test_renders_marks_and_legend(self):
+        text = ascii_chart("chart", demo_series())
+        assert "o fast" in text and "x slow" in text
+        assert "o" in text.splitlines()[2] or any(
+            "o" in line for line in text.splitlines()
+        )
+
+    def test_metric_selection(self):
+        for metric in ("speedup", "seconds", "comm"):
+            text = ascii_chart("chart", demo_series(), y=metric)
+            assert f"[{metric}]" in text
+
+    def test_empty(self):
+        assert "(no data)" in ascii_chart("chart", [])
+
+    def test_single_point(self):
+        s = Series(label="dot", x_name="p",
+                   points=[SeriesPoint(x=1, seconds=1.0, speedup=1.0)])
+        text = ascii_chart("chart", [s])
+        assert "o dot" in text

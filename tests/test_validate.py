@@ -1,0 +1,91 @@
+"""Tests for the cube validator."""
+
+import numpy as np
+import pytest
+
+from repro.config import CubeConfig, MachineSpec
+from repro.core.cube import build_data_cube
+from repro.core.validate import validate_cube
+from repro.core.viewdata import ViewData
+from tests.conftest import make_relation
+
+CARDS = (10, 6, 4)
+
+
+@pytest.fixture()
+def cube():
+    rel = make_relation(2500, CARDS, seed=15)
+    return build_data_cube(rel, CARDS, MachineSpec(p=3))
+
+
+class TestValidateCube:
+    def test_fresh_cube_valid(self, cube):
+        report = validate_cube(cube)
+        assert report.ok, report.describe()
+        assert report.views_checked == 8
+
+    def test_shallow_mode(self, cube):
+        assert validate_cube(cube, deep=False).ok
+
+    def test_detects_unsorted_piece(self, cube):
+        data = cube.rank_views[0][(0,)]
+        if data.nrows >= 2:
+            corrupted = ViewData(
+                data.order, data.keys[::-1].copy(), data.measure[::-1].copy()
+            )
+            cube.rank_views[0][(0,)] = corrupted
+            report = validate_cube(cube)
+            assert not report.ok
+            assert any("not sorted" in e for e in report.errors)
+
+    def test_detects_duplicate_keys_across_ranks(self, cube):
+        a = cube.rank_views[0][(0, 1)]
+        b = cube.rank_views[1][(0, 1)]
+        if a.nrows and b.nrows:
+            stolen = ViewData(
+                b.order,
+                np.concatenate(([a.keys[0]], b.keys)),
+                np.concatenate(([1.0], b.measure)),
+            )
+            cube.rank_views[1][(0, 1)] = stolen
+            report = validate_cube(cube)
+            assert not report.ok
+            assert any("duplicate" in e for e in report.errors)
+
+    def test_detects_total_mismatch(self, cube):
+        data = cube.rank_views[0][(1,)]
+        if data.nrows:
+            tweaked = ViewData(
+                data.order, data.keys, data.measure + 100.0
+            )
+            cube.rank_views[0][(1,)] = tweaked
+            report = validate_cube(cube)
+            assert not report.ok
+            assert any("grand total" in e for e in report.errors)
+
+    def test_detects_out_of_space_keys(self, cube):
+        data = cube.rank_views[2][(2,)]
+        bad = ViewData(
+            data.order,
+            np.append(data.keys, np.int64(10**6)),
+            np.append(data.measure, 0.0),
+        )
+        cube.rank_views[2][(2,)] = bad
+        report = validate_cube(cube)
+        assert not report.ok
+        assert any("key space" in e for e in report.errors)
+
+    def test_describe_formats(self, cube):
+        good = validate_cube(cube)
+        assert "cube valid" in good.describe()
+        cube.rank_views[0].pop((0,))
+        bad = validate_cube(cube)
+        assert "INVALID" in bad.describe()
+        assert any("missing on rank" in e for e in bad.errors)
+
+    def test_non_sum_cubes_skip_total_check(self):
+        rel = make_relation(1500, CARDS, seed=2)
+        cube = build_data_cube(
+            rel, CARDS, MachineSpec(p=2), CubeConfig(agg="min")
+        )
+        assert validate_cube(cube).ok

@@ -1,0 +1,99 @@
+"""Tests for repro.core.viewdata.ViewData and codec_for_order."""
+
+import numpy as np
+import pytest
+
+from repro.core.viewdata import ViewData, codec_for_order
+from repro.storage.codec import KeyCodec
+
+
+CARDS = (8, 6, 4, 3)
+
+
+class TestCodecForOrder:
+    def test_permuted_order(self):
+        codec = codec_for_order((2, 0), CARDS)
+        assert codec.cardinalities.tolist() == [4, 8]
+
+    def test_identity_order(self):
+        codec = codec_for_order((0, 1, 2, 3), CARDS)
+        assert codec.cardinalities.tolist() == list(CARDS)
+
+    def test_empty_order(self):
+        assert codec_for_order((), CARDS).width == 0
+
+
+class TestViewData:
+    def make(self, order, rows):
+        codec = codec_for_order(order, CARDS)
+        dims = np.asarray(rows, dtype=np.int64).reshape(len(rows), len(order))
+        keys = np.sort(codec.pack(dims)) if len(order) else np.zeros(
+            len(rows), dtype=np.int64
+        )
+        return ViewData(order, keys, np.arange(len(rows), dtype=np.float64))
+
+    def test_view_is_canonical(self):
+        data = self.make((2, 0), [[1, 3], [2, 5]])
+        assert data.view == (0, 2)
+
+    def test_nrows_nbytes(self):
+        data = self.make((0,), [[1], [2], [3]])
+        assert data.nrows == 3
+        assert data.nbytes == 3 * 16
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            ViewData((0,), np.zeros(2, dtype=np.int64), np.zeros(3))
+
+    def test_empty(self):
+        data = ViewData.empty((1, 3))
+        assert data.nrows == 0
+        assert data.view == (1, 3)
+
+    def test_is_sorted(self):
+        good = ViewData((0,), np.array([1, 2, 2], dtype=np.int64), np.ones(3))
+        bad = ViewData((0,), np.array([2, 1], dtype=np.int64), np.ones(2))
+        assert good.is_sorted()
+        assert not bad.is_sorted()
+
+    def test_to_relation_reorders_columns(self):
+        """A view produced in permuted order must materialise with
+        canonical column order."""
+        order = (2, 0)  # C-major pipeline order
+        codec = codec_for_order(order, CARDS)
+        dims_in_order = np.array([[0, 5], [3, 1]], dtype=np.int64)
+        keys = codec.pack(dims_in_order)
+        data = ViewData(order, keys, np.array([10.0, 20.0]))
+        rel = data.to_relation(CARDS)
+        # canonical order is (0, 2): columns swapped back
+        assert rel.dims.tolist() == [[5, 0], [1, 3]]
+        assert rel.measure.tolist() == [10.0, 20.0]
+
+    def test_to_relation_roundtrip_random(self):
+        rng = np.random.default_rng(0)
+        order = (3, 1, 0)
+        codec = codec_for_order(order, CARDS)
+        dims = np.column_stack(
+            [rng.integers(0, CARDS[i], 50) for i in order]
+        )
+        keys = codec.pack(dims)
+        srt = np.argsort(keys)
+        data = ViewData(order, keys[srt], rng.random(50)[srt])
+        rel = data.to_relation(CARDS)
+        assert rel.width == 3
+        # repacking the canonical columns under the canonical codec and
+        # sorting must give a permutation of the original keys
+        canon_codec = KeyCodec([CARDS[i] for i in (0, 1, 3)])
+        back = canon_codec.pack(rel.dims)
+        assert back.size == 50
+
+    def test_all_view_to_relation(self):
+        data = ViewData((), np.zeros(1, dtype=np.int64), np.array([42.0]))
+        rel = data.to_relation(CARDS)
+        assert rel.width == 0
+        assert rel.measure.tolist() == [42.0]
+
+    def test_duplicate_dimension_in_order_rejected(self):
+        data = ViewData((0, 0), np.zeros(1, dtype=np.int64), np.ones(1))
+        with pytest.raises(ValueError):
+            data.to_relation(CARDS)

@@ -1,0 +1,183 @@
+"""Tests for view identifiers, the lattice, and Di-partitions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.lattice import Lattice
+from repro.core.partitions import (
+    partition_all,
+    partition_index,
+    partition_root,
+    partition_views,
+)
+from repro.core.views import (
+    all_views,
+    canonical_view,
+    is_prefix,
+    is_subset,
+    parse_view_name,
+    view_name,
+)
+
+
+class TestViews:
+    def test_canonical_sorts_and_dedups(self):
+        assert canonical_view([3, 1, 3, 0]) == (0, 1, 3)
+
+    def test_canonical_rejects_negative(self):
+        with pytest.raises(ValueError):
+            canonical_view([-1])
+
+    def test_all_views_count(self):
+        for d in range(6):
+            assert len(all_views(d)) == 2**d
+
+    def test_all_views_rejects_negative(self):
+        with pytest.raises(ValueError):
+            all_views(-1)
+
+    def test_subset(self):
+        assert is_subset((0, 2), (0, 1, 2))
+        assert not is_subset((0, 3), (0, 1, 2))
+        assert is_subset((), (0,))
+
+    def test_prefix_on_orders(self):
+        assert is_prefix((0, 2), (0, 2, 1))
+        assert not is_prefix((2, 0), (0, 2, 1))
+        assert is_prefix((), (5, 1))
+
+    def test_names(self):
+        assert view_name((0, 2, 3)) == "ACD"
+        assert view_name(()) == "ALL"
+        assert parse_view_name("ACD") == (0, 2, 3)
+        assert parse_view_name("ALL") == ()
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_view_name("A1")
+
+    def test_name_roundtrip(self):
+        for view in all_views(5):
+            assert parse_view_name(view_name(view)) == view
+
+
+class TestLattice:
+    def test_full_lattice_shape(self):
+        lat = Lattice.full(4)
+        assert len(lat) == 16
+        assert lat.top_level == 4
+        assert [len(lat.level(k)) for k in range(5)] == [1, 4, 6, 4, 1]
+
+    def test_edge_count_full(self):
+        # sum over views of |view| = d * 2^(d-1)
+        assert Lattice.full(4).edge_count() == 4 * 8
+
+    def test_children_parents_inverse(self):
+        lat = Lattice.full(4)
+        for view in lat.views:
+            for child in lat.children_of(view):
+                assert view in lat.parents_of(child)
+
+    def test_children_drop_one_dim(self):
+        lat = Lattice.full(3)
+        assert sorted(lat.children_of((0, 1, 2))) == [(0, 1), (0, 2), (1, 2)]
+        assert lat.children_of(()) == []
+
+    def test_parents_of_all(self):
+        lat = Lattice.full(3)
+        assert sorted(lat.parents_of(())) == [(0,), (1,), (2,)]
+
+    def test_ancestors_descendants(self):
+        lat = Lattice.full(3)
+        assert set(lat.ancestors_of((0,))) == {
+            (0, 1), (0, 2), (0, 1, 2)
+        }
+        assert set(lat.descendants_of((0, 1))) == {(), (0,), (1,)}
+
+    def test_restricted_lattice(self):
+        lat = Lattice(3, views=[(0, 1, 2), (0, 1), (0,)])
+        assert len(lat) == 3
+        assert lat.children_of((0, 1, 2)) == [(0, 1)]
+        assert lat.parents_of((0,)) == [(0, 1)]
+
+    def test_restricted_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Lattice(2, views=[(0, 5)])
+
+    def test_below(self):
+        lat = Lattice.below((0, 2), 3)
+        assert set(lat.views) == {(), (0,), (2,), (0, 2)}
+
+    def test_membership(self):
+        lat = Lattice.full(3)
+        assert (0, 1) in lat
+        assert (0, 1, 2, 3) not in lat
+
+    def test_rejects_negative_d(self):
+        with pytest.raises(ValueError):
+            Lattice(-1)
+
+
+class TestPartitions:
+    def test_paper_figure3_exact(self):
+        """Figure 3: partitions of the d=4 cube."""
+        d = 4
+        parts = partition_all(d)
+        assert [p[0] for p in parts] == [0, 1, 2, 3]
+        by_i = {i: set(views) for i, _, views in parts}
+        name = parse_view_name
+        assert by_i[0] == {
+            name(s) for s in
+            ["ABCD", "ABC", "ABD", "ACD", "AB", "AC", "AD", "A"]
+        }
+        assert by_i[1] == {name(s) for s in ["BCD", "BC", "BD", "B"]}
+        assert by_i[2] == {name(s) for s in ["CD", "C"]}
+        assert by_i[3] == {name("D"), ()}  # ALL rides with the last partition
+
+    def test_roots(self):
+        assert partition_root(0, 4) == (0, 1, 2, 3)
+        assert partition_root(2, 4) == (2, 3)
+        with pytest.raises(ValueError):
+            partition_root(4, 4)
+
+    def test_partitions_tile_the_cube(self):
+        d = 5
+        seen = []
+        for _, _, views in partition_all(d):
+            seen.extend(views)
+        assert sorted(seen) == sorted(all_views(d))
+
+    def test_partition_index(self):
+        assert partition_index((2, 3), 4) == 2
+        assert partition_index((), 4) == 3
+        with pytest.raises(ValueError):
+            partition_index((5,), 4)
+        with pytest.raises(ValueError):
+            partition_index((), 0)
+
+    def test_views_sorted_largest_first(self):
+        views = partition_views(0, 4)
+        sizes = [len(v) for v in views]
+        assert sizes == sorted(sizes, reverse=True)
+        assert views[0] == (0, 1, 2, 3)
+
+    def test_partial_selection(self):
+        selected = [(0, 1), (1, 2), (2,), ()]
+        parts = partition_all(3, selected)
+        by_i = {i: set(views) for i, _, views in parts}
+        assert by_i[0] == {(0, 1)}
+        assert by_i[1] == {(1, 2)}
+        assert by_i[2] == {(2,), ()}
+
+    def test_empty_partitions_skipped(self):
+        parts = partition_all(3, selected=[(0,)])
+        assert len(parts) == 1
+        assert parts[0][0] == 0
+
+    @given(st.integers(1, 7))
+    def test_partition_sizes_formula(self, d):
+        """|Si| = 2^(d-1-i), plus ALL in the last partition."""
+        for i, _, views in partition_all(d):
+            expected = 2 ** (d - 1 - i) + (1 if i == d - 1 else 0)
+            assert len(views) == expected

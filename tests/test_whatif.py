@@ -1,0 +1,83 @@
+"""Tests for the what-if network projection."""
+
+import pytest
+
+from repro.config import MachineSpec
+from repro.core.cube import build_data_cube
+from repro.mpi.whatif import gigabit_upgrade, recost_cube, recost_network
+from repro.mpi.engine import run_spmd
+from tests.conftest import make_relation
+
+import numpy as np
+
+
+def traffic_prog(comm):
+    lanes = [np.zeros(50_000, dtype=np.int64) for _ in range(comm.size)]
+    comm.alltoall(lanes)
+    comm.allgather(np.zeros(1000, dtype=np.int64))
+
+
+class TestRecost:
+    def test_identity_projection(self):
+        spec = MachineSpec(p=4)
+        res = run_spmd(traffic_prog, spec)
+        proj = recost_network(res.clock, spec)
+        assert proj.projected_seconds == pytest.approx(
+            proj.measured_seconds, rel=1e-9
+        )
+        assert proj.speedup_gain == pytest.approx(1.0)
+
+    def test_faster_network_helps(self):
+        spec = MachineSpec(p=4)
+        res = run_spmd(traffic_prog, spec)
+        proj = recost_network(res.clock, gigabit_upgrade(spec))
+        assert proj.projected_seconds < proj.measured_seconds
+        assert proj.projected_comm_seconds < proj.measured_comm_seconds
+
+    def test_slower_network_hurts(self):
+        from dataclasses import replace
+
+        spec = MachineSpec(p=4)
+        res = run_spmd(traffic_prog, spec)
+        worse = replace(spec, beta_sec_per_mb=spec.beta_sec_per_mb * 10)
+        proj = recost_network(res.clock, worse)
+        assert proj.projected_seconds > proj.measured_seconds
+
+    def test_projection_exact_against_rerun(self):
+        """Re-costing must equal actually running on the other machine,
+        for the deterministic (modelled) part of the clock."""
+        from dataclasses import replace
+
+        base = MachineSpec(p=4, latency_sec=0.01, beta_sec_per_mb=0.5)
+        fast = replace(base, latency_sec=0.002, beta_sec_per_mb=0.05)
+        r_base = run_spmd(traffic_prog, base)
+        r_fast = run_spmd(traffic_prog, fast)
+        proj = recost_network(r_base.clock, fast)
+        assert proj.projected_comm_seconds == pytest.approx(
+            r_fast.clock.comm_time, rel=1e-9
+        )
+
+    def test_cube_projection(self):
+        rel = make_relation(4000, (12, 8, 5), seed=3)
+        spec = MachineSpec(p=8)
+        cube = build_data_cube(rel, (12, 8, 5), spec)
+        proj = recost_cube(cube, gigabit_upgrade(spec))
+        assert proj.supersteps == len(cube.metrics.superstep_log)
+        assert 1.0 <= proj.speedup_gain < 3.0
+        assert "network projection" in proj.describe()
+
+    def test_gigabit_upgrade_factors(self):
+        spec = MachineSpec()
+        up = gigabit_upgrade(spec)
+        assert up.beta_sec_per_mb == pytest.approx(spec.beta_sec_per_mb / 10)
+        assert up.latency_sec == pytest.approx(spec.latency_sec / 2)
+
+    def test_paper_gigabit_claim_shape(self):
+        """Section 4: the gigabit upgrade 'will further improve the
+        relative speedup' — the projection must show a real gain at
+        p=16 where communication matters."""
+        rel = make_relation(10_000, (16, 12, 8, 6), seed=9)
+        spec = MachineSpec(p=16)
+        cube = build_data_cube(rel, (16, 12, 8, 6), spec)
+        proj = recost_cube(cube, gigabit_upgrade(spec))
+        assert proj.speedup_gain > 1.02
