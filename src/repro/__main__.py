@@ -71,7 +71,7 @@ def cmd_build(args: argparse.Namespace) -> int:
     cube = build_data_cube(
         data,
         cards,
-        MachineSpec(p=args.p),
+        MachineSpec(p=args.p, backend=args.backend),
         CubeConfig(agg=args.agg),
         selected=None,
     )
@@ -134,7 +134,9 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
     spec = paper_preset(10_000, seed=1)
     data = generate_dataset(spec)
-    cube = build_data_cube(data, spec.cardinalities, MachineSpec(p=args.p))
+    cube = build_data_cube(
+        data, spec.cardinalities, MachineSpec(p=args.p, backend=args.backend)
+    )
     print(cube.describe())
     print("phase breakdown:")
     for phase, secs in sorted(cube.metrics.phase_seconds.items()):
@@ -153,6 +155,10 @@ def main(argv: list[str] | None = None) -> int:
     p_build = sub.add_parser("build", help="generate data and build a cube")
     p_build.add_argument("--rows", type=int, default=20_000)
     p_build.add_argument("--p", type=int, default=8, help="virtual processors")
+    p_build.add_argument("--backend", default="thread",
+                         choices=("thread", "process"),
+                         help="execution backend (process = one worker "
+                              "process per rank, parallel host execution)")
     p_build.add_argument("--alpha", type=float, default=0.0, help="Zipf skew")
     p_build.add_argument("--mix", default="B", choices="ABCD")
     p_build.add_argument("--dims", type=int, default=None)
@@ -188,6 +194,8 @@ def main(argv: list[str] | None = None) -> int:
 
     p_demo = sub.add_parser("demo", help="tiny end-to-end demonstration")
     p_demo.add_argument("--p", type=int, default=8)
+    p_demo.add_argument("--backend", default="thread",
+                        choices=("thread", "process"))
     p_demo.set_defaults(fn=cmd_demo)
 
     args = parser.parse_args(argv)

@@ -11,8 +11,11 @@ runs at a configurable scale.  ``BenchScale`` carries the two knobs:
 * ``processors`` — the processor counts swept (default 1..16 like the
   paper's x-axes).
 
-Environment overrides: ``REPRO_BENCH_N`` and ``REPRO_BENCH_MAXP``.  All
-shape conclusions (who wins, where curves bend) are stable across scales;
+Environment overrides: ``REPRO_BENCH_N``, ``REPRO_BENCH_MAXP``, and
+``REPRO_BENCH_BACKEND`` (execution backend for every cube build —
+``thread`` or ``process``; simulated results are backend-independent, so
+this only changes how long the experiments take on the host).  All shape
+conclusions (who wins, where curves bend) are stable across scales;
 EXPERIMENTS.md records the scale each stored result used.
 """
 
@@ -32,6 +35,7 @@ __all__ = [
     "BenchScale",
     "Series",
     "SeriesPoint",
+    "backend_from_env",
     "scale_from_env",
     "speedup_sweep",
 ]
@@ -58,6 +62,11 @@ def scale_from_env() -> BenchScale:
     max_p = int(os.environ.get("REPRO_BENCH_MAXP", 16))
     processors = tuple(p for p in (1, 2, 4, 8, 16) if p <= max_p)
     return BenchScale(n_base=n_base, processors=processors or (1,))
+
+
+def backend_from_env() -> str:
+    """Execution backend for benchmark cube builds (``REPRO_BENCH_BACKEND``)."""
+    return os.environ.get("REPRO_BENCH_BACKEND", "thread")
 
 
 @dataclass
@@ -107,7 +116,7 @@ def speedup_sweep(
     the paper's sequential Pipesort when not supplied.
     """
     builder = builder or build_data_cube
-    spec_base = spec_base or MachineSpec()
+    spec_base = spec_base or MachineSpec(backend=backend_from_env())
     if sequential_seconds is None:
         seq = sequential_cube(dataset, cardinalities, spec_base, config)
         sequential_seconds = seq.metrics.simulated_seconds

@@ -51,6 +51,13 @@ class MachineSpec:
 
     #: Number of virtual processors (MPI ranks).
     p: int = 4
+    #: Execution backend for the SPMD engine: ``"thread"`` runs ranks as
+    #: threads in one process (deterministic default; the GIL serialises
+    #: Python-level rank code, so ``host_seconds`` does not improve with
+    #: ``p``), ``"process"`` forks one worker process per rank with
+    #: shared-memory collectives (``host_seconds`` scales with real
+    #: cores).  Simulated-time accounting is backend-independent.
+    backend: str = "thread"
     #: Per-processor in-memory row budget for external-memory operations.
     #: The default mirrors the paper's regime (512 MB nodes vs a 72-360 MB
     #: data set: sorts run in memory at benchmark scales on the sequential
@@ -76,6 +83,8 @@ class MachineSpec:
     #: Host CPU is a *minor* term of the model (see the work-charge
     #: constants below, which carry the deterministic per-row costs);
     #: measured CPU mainly keeps genuinely unmodelled Python work visible.
+    #: Set to 0 to drop the measured term entirely, making the simulated
+    #: clock fully deterministic (used by the backend-equivalence tests).
     compute_scale: float = 1.0
     #: Modelled CPU cost of sorting: seconds per row per log2-level
     #: (``sort(n) = sort_sec_per_row_level · n · max(1, log2 n)``).
@@ -109,14 +118,23 @@ class MachineSpec:
             raise ValueError("disk_sec_per_block must be non-negative")
         if self.disks_per_node < 1:
             raise ValueError("disks_per_node must be >= 1")
-        if self.compute_scale <= 0:
-            raise ValueError("compute_scale must be positive")
+        if self.compute_scale < 0:
+            raise ValueError("compute_scale must be non-negative")
+        if self.backend not in ("thread", "process"):
+            raise ValueError(
+                f"unknown execution backend: {self.backend!r} "
+                "(expected 'thread' or 'process')"
+            )
         if self.bytes_per_row < 1:
             raise ValueError("bytes_per_row must be >= 1")
 
     def with_processors(self, p: int) -> "MachineSpec":
         """Return a copy of this spec with a different processor count."""
         return replace(self, p=p)
+
+    def with_backend(self, backend: str) -> "MachineSpec":
+        """Return a copy of this spec with a different execution backend."""
+        return replace(self, backend=backend)
 
     def rows_to_mb(self, rows: int) -> float:
         """Convert a row count to megabytes under this spec's row width."""

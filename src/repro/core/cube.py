@@ -369,6 +369,7 @@ def build_data_cube(
     selected: Sequence[View] | None = None,
     estimate_method: str = "sample",
     disk_root: str | None = None,
+    backend: str | None = None,
 ) -> CubeResult:
     """Construct the (full or partial) data cube of ``relation`` in parallel.
 
@@ -392,12 +393,18 @@ def build_data_cube(
     disk_root:
         Directory for real spill files; ``None`` keeps virtual disks in
         memory (identical accounting).
+    backend:
+        Execution backend override (``"thread"`` or ``"process"``); ``None``
+        keeps ``spec.backend``.  Metering is backend-independent — only
+        ``host_seconds`` changes.
 
     Returns
     -------
     :class:`CubeResult` — per-rank view pieces plus run metrics.
     """
     spec = spec or MachineSpec()
+    if backend is not None:
+        spec = spec.with_backend(backend)
     config = config or CubeConfig()
     cards = tuple(int(c) for c in cardinalities)
     if relation.width != len(cards):

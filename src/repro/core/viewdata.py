@@ -15,6 +15,7 @@ variant can merge without re-sorting.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
@@ -26,11 +27,27 @@ from repro.storage.table import Relation
 __all__ = ["ViewData", "codec_for_order"]
 
 
+@lru_cache(maxsize=1024)
+def _cached_codec(
+    order: tuple[int, ...], cards: tuple[int, ...]
+) -> KeyCodec:
+    return KeyCodec([cards[i] for i in order])
+
+
 def codec_for_order(
     order: Sequence[int], cardinalities: Sequence[int]
 ) -> KeyCodec:
-    """Key codec for an attribute permutation over the global dims."""
-    return KeyCodec([cardinalities[i] for i in order])
+    """Key codec for an attribute permutation over the global dims.
+
+    Cached on ``(order, cardinalities)``: the hot paths
+    (``execute_schedule``, merge re-sorts, ``to_relation``) request the
+    same handful of codecs thousands of times per run.  The returned
+    codec is shared — treat it as immutable.
+    """
+    return _cached_codec(
+        tuple(int(i) for i in order),
+        tuple(int(c) for c in cardinalities),
+    )
 
 
 @dataclass

@@ -1,27 +1,33 @@
 """Simulated shared-nothing message-passing substrate.
 
 The paper runs on a Beowulf cluster under MPI/LAM.  Neither multi-node
-hardware nor mpi4py is available here, so this package provides an
-in-process SPMD runtime with MPI semantics:
+hardware nor mpi4py is available here, so this package provides an SPMD
+runtime with MPI semantics and pluggable execution backends:
 
-* :func:`repro.mpi.engine.run_spmd` spawns ``p`` rank threads, each running
-  the identical rank program against its own :class:`~repro.mpi.comm.Comm`
-  endpoint and its own private :class:`~repro.storage.disk.LocalDisk`.
+* :func:`repro.mpi.engine.run_spmd` runs ``p`` rank programs — as threads
+  over shared mailboxes (the deterministic default) or as forked worker
+  processes with shared-memory collectives (``MachineSpec(backend=
+  "process")``; see :mod:`repro.mpi.backends`) — each against its own
+  :class:`~repro.mpi.comm.Comm` endpoint and its own private
+  :class:`~repro.storage.disk.LocalDisk`.
 * Collectives — ``barrier``, ``bcast``, ``gather``, ``allgather``,
   ``scatter``, ``alltoall`` (the paper's h-relation,
-  ``MPI_ALLTOALLV``), ``allreduce`` — run over shared mailboxes with the
-  blocking semantics of their MPI counterparts.
+  ``MPI_ALLTOALLV``), ``allreduce`` — have the blocking semantics of
+  their MPI counterparts on every backend.
 * Every collective is a BSP superstep boundary: the
   :class:`~repro.mpi.clock.BSPClock` advances simulated time by the maximum
   per-rank segment cost (CPU + disk) plus an h-relation communication cost,
   which is how this reproduction obtains cluster-like wall-clock and
-  speedup curves on a single host.
+  speedup curves on a single host.  The superstep commit is replayed
+  identically by both backends, so simulated time and traffic metering do
+  not depend on how the ranks physically execute.
 * :class:`~repro.mpi.stats.CommStats` meters every byte crossing the
   virtual network (needed verbatim for the paper's Figure 8b).
 """
 
+from repro.mpi.backends import ProcessBackend, ThreadBackend, get_backend
 from repro.mpi.clock import BSPClock
-from repro.mpi.comm import Comm
+from repro.mpi.comm import Comm, ThreadTransport, Transport
 from repro.mpi.engine import Cluster, run_spmd
 from repro.mpi.errors import MPIError, RankFailure
 from repro.mpi.stats import CommStats
@@ -32,6 +38,11 @@ __all__ = [
     "Comm",
     "CommStats",
     "MPIError",
+    "ProcessBackend",
     "RankFailure",
+    "ThreadBackend",
+    "ThreadTransport",
+    "Transport",
+    "get_backend",
     "run_spmd",
 ]

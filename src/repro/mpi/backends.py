@@ -1,0 +1,630 @@
+"""Execution backends for the SPMD engine.
+
+The engine's contract (see :mod:`repro.mpi.engine`) is backend-neutral:
+run the same rank program on ``p`` communicator endpoints, meter every
+superstep through :meth:`~repro.mpi.stats.CommStats.record` +
+:meth:`~repro.mpi.clock.BSPClock.commit_superstep`, and surface the first
+real failure while breaking every peer with
+:class:`~repro.mpi.errors.RankFailure`.  Two backends implement it:
+
+``thread`` (default)
+    ``p`` rank threads over shared mailboxes.  Deterministic, cheap to
+    spawn, zero-copy payload delivery — but the GIL serialises all
+    Python-level rank code, so ``host_seconds`` does not shrink with
+    ``p``.  Simulated time is unaffected (per-rank CPU is measured with
+    ``thread_time``), which is why this stays the default for tests and
+    figure reproductions.
+
+``process``
+    ``p`` forked worker processes coordinated by the parent.  Collectives
+    run over :mod:`repro.mpi.shm`: large numeric arrays cross through
+    POSIX shared memory (one memcpy in, one out), everything else rides a
+    small pickle blob on the worker's pipe.  The parent replays the exact
+    superstep commit of the thread backend from per-rank metering shipped
+    with each collective, so ``simulated_seconds`` / ``comm_bytes`` /
+    ``disk_blocks`` are identical between backends whenever the clock's
+    measured-CPU term is disabled (``compute_scale=0``) — and statistically
+    equal otherwise.  ``host_seconds`` now scales with real cores.
+
+Superstep wire protocol (process backend), one round per collective::
+
+    worker j -> parent : ("step", kind, send_row, segment_j, phase_j,
+                          accrual_0 if j == 0, encoded_payload)
+    parent             : meters + commits exactly like the barrier action
+    parent -> worker j : ("deliver", [encoded payloads by source rank])
+    worker j -> parent : ("ack",)          # after reading its slots
+    parent -> worker j : ("resume",)       # slots reusable; creator
+    worker j           : unlinks its own shared-memory segments
+
+The ack/resume round is the leave-barrier of the thread backend: it keeps
+a sender's segments alive until every reader has copied out.  On any
+failure the parent broadcasts ``("abort",)``, drains the pipes to free
+orphaned segments, and re-raises the originating exception; peers blocked
+in a collective observe :class:`RankFailure`, exactly like a broken
+barrier.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import threading
+import time
+import traceback
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.mpi import shm
+from repro.mpi.comm import BARRIER_TIMEOUT_SEC, Comm, ThreadTransport
+from repro.mpi.errors import CollectiveMisuse, MPIError, RankFailure
+
+__all__ = ["BACKENDS", "ProcessBackend", "ThreadBackend", "get_backend"]
+
+#: How long failure cleanup waits for workers to exit on their own before
+#: terminating them.  Workers notice an abort at their next collective, so
+#: only a rank wedged in local compute ever hits the hard kill.
+_ABORT_DRAIN_SEC = 5.0
+
+
+def get_backend(name: str):
+    """Resolve a backend name (``MachineSpec.backend``) to an instance."""
+    try:
+        return BACKENDS[name]()
+    except KeyError:
+        raise MPIError(
+            f"unknown execution backend {name!r}; "
+            f"expected one of {sorted(BACKENDS)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# thread backend
+# ---------------------------------------------------------------------------
+
+
+class ThreadBackend:
+    """Rank-per-thread execution over the cluster's shared mailboxes."""
+
+    name = "thread"
+
+    def run(
+        self,
+        cluster,
+        rank_program: Callable[..., Any],
+        args: Sequence[Any],
+    ) -> list:
+        p = cluster.spec.p
+        results: list = [None] * p
+        finals: list[float] = [0.0] * p
+        errors: list[BaseException | None] = [None] * p
+
+        def worker(rank: int) -> None:
+            comm = cluster.comm(rank)
+            disk = cluster.disks[rank]
+            cluster.clock.rank_start(
+                rank, disk.stats.blocks_total, disk.work.seconds
+            )
+            try:
+                results[rank] = rank_program(comm, *args)
+                # Fold in the tail segment after the last collective.
+                cluster.clock.mark_segment(
+                    rank, disk.stats.blocks_total, disk.work.seconds
+                )
+                finals[rank] = cluster.clock._pending_segment[rank]
+                cluster.clock._pending_segment[rank] = 0.0
+            except BaseException as exc:  # noqa: BLE001 - must not hang peers
+                errors[rank] = exc
+                cluster._enter.abort()
+                cluster._leave.abort()
+
+        threads = [
+            threading.Thread(
+                target=worker, args=(j,), name=f"rank-{j}", daemon=True
+            )
+            for j in range(p)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        if cluster._action_error is not None:
+            raise cluster._action_error
+        origin = next(
+            (
+                e
+                for e in errors
+                if e is not None and not isinstance(e, RankFailure)
+            ),
+            None,
+        )
+        if origin is not None:
+            raise origin
+        if any(errors):
+            raise next(e for e in errors if e is not None)
+
+        cluster.clock.finish(finals)
+        return results
+
+
+# ---------------------------------------------------------------------------
+# process backend: worker side
+# ---------------------------------------------------------------------------
+
+
+class _LazyLanes:
+    """Per-source lane list of a scatter/alltoall slot, decoded on access.
+
+    Keeps the h-relation O(own traffic): a rank only pays the copy-out for
+    lanes actually addressed to it, even though every rank receives the
+    full descriptor table.
+    """
+
+    def __init__(self, blobs: list):
+        self._blobs = blobs
+        self._cache: list = [_MISSING] * len(blobs)
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    def __getitem__(self, idx: int):
+        val = self._cache[idx]
+        if val is _MISSING:
+            blob = self._blobs[idx]
+            val = None if blob is None else shm.decode(blob)
+            self._cache[idx] = val
+        return val
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self[i]
+
+
+_MISSING = object()
+
+
+class _LazySlots:
+    """The per-rank payload table a collective's reader indexes into."""
+
+    def __init__(self, entries: list):
+        self._entries = entries
+        self._cache: list = [_MISSING] * len(entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, idx: int):
+        val = self._cache[idx]
+        if val is _MISSING:
+            val = self._cache[idx] = _decode_entry(self._entries[idx])
+        return val
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self[i]
+
+
+def _encode_payload(kind: str, payload: Any):
+    """Encode one rank's payload for the wire.
+
+    Scatter/alltoall payloads are lane lists; encoding each lane as its
+    own blob lets receivers decode only the lanes addressed to them.
+    """
+    if payload is None:
+        return None
+    if kind in ("scatter", "alltoall") and isinstance(payload, list):
+        return (
+            "lanes",
+            [None if lane is None else shm.encode(lane) for lane in payload],
+        )
+    return ("obj", shm.encode(payload))
+
+
+def _decode_entry(entry):
+    if entry is None:
+        return None
+    tag, body = entry
+    if tag == "obj":
+        return shm.decode(body)
+    return _LazyLanes(body)
+
+
+def _encoded_segments(entry) -> list[str]:
+    """All shared-memory segment names referenced by one encoded payload."""
+    if entry is None:
+        return []
+    tag, body = entry
+    if tag == "obj":
+        return list(body.segments)
+    return [name for blob in body if blob is not None for name in blob.segments]
+
+
+class _ProcessTransport:
+    """Pipe+shared-memory transport of one worker process."""
+
+    def __init__(self, rank: int, size: int, conn, clock, disk):
+        self.rank = rank
+        self.size = size
+        self._conn = conn
+        self._clock = clock
+        self._disk = disk
+
+    def _send(self, msg) -> None:
+        try:
+            self._conn.send(msg)
+        except (BrokenPipeError, EOFError, OSError):
+            raise RankFailure(
+                f"rank {self.rank}: the coordinator vanished"
+            ) from None
+
+    def _recv(self):
+        try:
+            if not self._conn.poll(BARRIER_TIMEOUT_SEC):
+                raise RankFailure(
+                    f"rank {self.rank}: timed out waiting for peers"
+                )
+            return self._conn.recv()
+        except (EOFError, OSError):
+            raise RankFailure(
+                f"rank {self.rank}: the coordinator vanished"
+            ) from None
+
+    def exchange(
+        self,
+        kind: str,
+        payload: Any,
+        send_row: np.ndarray,
+        reader: Callable[[Sequence[Any]], Any],
+    ) -> Any:
+        clock, rank = self._clock, self.rank
+        # Ship the same quantities the barrier action reads in-process:
+        # this rank's pending segment, its phase label, and (from rank 0)
+        # the phase accrual used to apportion the superstep's compute.
+        segment = clock._pending_segment[rank]
+        phase = clock._phase[rank]
+        accrual = dict(clock._phase_accrual[rank]) if rank == 0 else None
+        enc = _encode_payload(kind, payload)
+        try:
+            self._send(
+                (
+                    "step",
+                    kind,
+                    np.asarray(send_row, dtype=np.int64),
+                    segment,
+                    phase,
+                    accrual,
+                    enc,
+                )
+            )
+            msg = self._recv()
+            if msg[0] != "deliver":
+                raise RankFailure(
+                    f"rank {rank}: a peer rank aborted the computation"
+                )
+            try:
+                result = reader(_LazySlots(msg[1]))
+            finally:
+                # The leave barrier: senders keep segments alive until
+                # every reader acked.
+                self._send(("ack",))
+                resumed = self._recv()
+            if resumed[0] != "resume":
+                raise RankFailure(
+                    f"rank {rank}: a peer rank aborted the computation"
+                )
+        finally:
+            shm.unlink_segments(_encoded_segments(enc))
+        # Mirror the superstep commit clearing the rank's local accrual.
+        clock._pending_segment[rank] = 0.0
+        clock._phase_accrual[rank].clear()
+        return result
+
+
+def _ship_exception(rank: int, exc: BaseException):
+    """Best-effort picklable form of a worker failure."""
+    tb = traceback.format_exc()
+    try:
+        pickle.dumps(exc)
+    except Exception:
+        exc = MPIError(
+            f"rank {rank} failed with unpicklable "
+            f"{type(exc).__name__}: {exc}"
+        )
+    return (exc, tb)
+
+
+def _worker_main(
+    rank: int,
+    conn,
+    stale_conns,
+    cluster,
+    rank_program: Callable[..., Any],
+    args: Sequence[Any],
+) -> None:
+    """Entry point of one forked rank process."""
+    # Forked children inherit every pipe end created before their fork;
+    # close the ones that aren't ours so EOF detection works in the parent.
+    for stale in stale_conns:
+        try:
+            stale.close()
+        except Exception:  # pragma: no cover - defensive
+            pass
+    disk = cluster.disks[rank]
+    clock = cluster.clock  # forked copy: authoritative only for this rank
+    transport = _ProcessTransport(rank, cluster.spec.p, conn, clock, disk)
+    comm = Comm(
+        rank, cluster.spec.p, transport, clock, cluster.stats, disk
+    )
+    clock.rank_start(rank, disk.stats.blocks_total, disk.work.seconds)
+    try:
+        result = rank_program(comm, *args)
+        clock.mark_segment(rank, disk.stats.blocks_total, disk.work.seconds)
+        blob = shm.encode(result)
+        try:
+            conn.send(
+                (
+                    "done",
+                    clock._pending_segment[rank],
+                    clock._phase[rank],
+                    blob,
+                    disk.stats.snapshot(),
+                    {
+                        "seconds": disk.work.seconds,
+                        "rows_sorted": disk.work.rows_sorted,
+                        "rows_scanned": disk.work.rows_scanned,
+                        "spill_counter": disk._counter,
+                    },
+                )
+            )
+            conn.recv()  # release (or abort) — parent decoded the result
+        finally:
+            shm.unlink_segments(blob.segments)
+    except BaseException as exc:  # noqa: BLE001 - ship, don't hang peers
+        try:
+            conn.send(("error", _ship_exception(rank, exc)))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+
+# ---------------------------------------------------------------------------
+# process backend: coordinator side
+# ---------------------------------------------------------------------------
+
+
+class ProcessBackend:
+    """Rank-per-process execution with shared-memory collectives."""
+
+    name = "process"
+
+    def run(
+        self,
+        cluster,
+        rank_program: Callable[..., Any],
+        args: Sequence[Any],
+    ) -> list:
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise MPIError(
+                "the process backend needs the fork start method "
+                "(unavailable on this platform); use backend='thread'"
+            )
+        ctx = multiprocessing.get_context("fork")
+        p = cluster.spec.p
+        pipes = [ctx.Pipe(duplex=True) for _ in range(p)]
+        parent_conns = [pc for pc, _ in pipes]
+        procs = []
+        for j in range(p):
+            stale = parent_conns + [cc for k, (_, cc) in enumerate(pipes) if k != j]
+            procs.append(
+                ctx.Process(
+                    target=_worker_main,
+                    args=(j, pipes[j][1], stale, cluster,
+                          rank_program, tuple(args)),
+                    name=f"rank-{j}",
+                    daemon=True,
+                )
+            )
+        for proc in procs:
+            proc.start()
+        for _, child_conn in pipes:
+            child_conn.close()
+        coordinator = _Coordinator(cluster, parent_conns, procs)
+        try:
+            return coordinator.run()
+        finally:
+            coordinator.close()
+
+
+class _Abort(Exception):
+    """Internal control flow: carries the failure to surface."""
+
+    def __init__(self, origin: BaseException):
+        self.origin = origin
+
+
+class _Coordinator:
+    """Parent-side replay of the thread backend's barrier action."""
+
+    def __init__(self, cluster, conns, procs):
+        self.cluster = cluster
+        self.conns = conns
+        self.procs = procs
+        self.p = cluster.spec.p
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _recv(self, rank: int):
+        conn = self.conns[rank]
+        try:
+            if not conn.poll(BARRIER_TIMEOUT_SEC):
+                raise _Abort(
+                    MPIError(f"rank {rank} stopped responding (timeout)")
+                )
+            return conn.recv()
+        except (EOFError, OSError):
+            raise _Abort(
+                MPIError(f"rank {rank} worker process died unexpectedly")
+            ) from None
+
+    def _broadcast(self, msg) -> None:
+        for conn in self.conns:
+            try:
+                conn.send(msg)
+            except (BrokenPipeError, OSError):
+                pass
+
+    # -- main loop --------------------------------------------------------
+
+    def run(self) -> list:
+        try:
+            while True:
+                msgs = self._collect_round()
+                kinds = {
+                    m[1] if m[0] == "step" else "<exit>"
+                    for m in msgs.values()
+                }
+                if len(kinds) > 1:
+                    raise _Abort(
+                        CollectiveMisuse(
+                            "ranks disagree on the collective: "
+                            f"{sorted(kinds)}"
+                        )
+                    )
+                if "<exit>" in kinds:
+                    return self._finish(msgs)
+                self._superstep(msgs)
+        except _Abort as abort:
+            raise self._cleanup_failure(abort.origin) from None
+
+    def _collect_round(self) -> dict[int, tuple]:
+        """One message per rank: either all "step" or all "done"."""
+        msgs: dict[int, tuple] = {}
+        for j in range(self.p):
+            msg = self._recv(j)
+            if msg[0] == "error":
+                exc, _tb = msg[1]
+                raise _Abort(exc)
+            msgs[j] = msg
+        return msgs
+
+    def _superstep(self, msgs: dict[int, tuple]) -> None:
+        """Meter + commit exactly like the thread backend's barrier action,
+        then deliver payloads and run the ack/resume (leave) round."""
+        clock = self.cluster.clock
+        kind = msgs[0][1]
+        rows = []
+        for j in range(self.p):
+            _, _, row, segment, phase, accrual, _ = msgs[j]
+            rows.append(np.asarray(row, dtype=np.int64))
+            clock._pending_segment[j] = segment
+            clock._phase[j] = phase
+            if j == 0:
+                clock._phase_accrual[0].clear()
+                clock._phase_accrual[0].update(accrual or {})
+        matrix = (
+            np.vstack(rows) if rows else np.zeros((0, 0), dtype=np.int64)
+        )
+        total, max_rank = self.cluster.stats.record(
+            kind, clock._phase[0], matrix
+        )
+        clock.commit_superstep(kind, total, max_rank)
+
+        entries = [msgs[j][6] for j in range(self.p)]
+        self._broadcast(("deliver", entries))
+        failure: BaseException | None = None
+        for j in range(self.p):
+            msg = self._recv(j)
+            if msg[0] == "error" and failure is None:
+                failure = msg[1][0]
+            elif msg[0] != "ack" and failure is None:
+                failure = MPIError(
+                    f"rank {j} broke the superstep protocol: {msg[0]!r}"
+                )
+        if failure is not None:
+            raise _Abort(failure)
+        self._broadcast(("resume",))
+
+    def _finish(self, msgs: dict[int, tuple]) -> list:
+        """All ranks exited together: collect results and fold tails."""
+        clock = self.cluster.clock
+        results: list = [None] * self.p
+        finals: list[float] = [0.0] * self.p
+        for j in range(self.p):
+            _, final, phase, blob, disk_snap, work_snap = msgs[j]
+            finals[j] = final
+            clock._phase[j] = phase
+            results[j] = shm.decode(blob)
+            self._apply_local_state(j, disk_snap, work_snap)
+        self._broadcast(("release",))
+        for proc in self.procs:
+            proc.join(timeout=_ABORT_DRAIN_SEC)
+        clock.finish(finals)
+        return results
+
+    def _apply_local_state(self, rank: int, disk_snap, work_snap) -> None:
+        """Adopt the worker's absolute disk/work counters into the parent
+        cluster (workers start from a fork of the parent state, so the
+        shipped totals are directly assignable — cluster reuse included)."""
+        disk = self.cluster.disks[rank]
+        stats = disk.stats
+        stats.blocks_read = disk_snap["blocks_read"]
+        stats.blocks_written = disk_snap["blocks_written"]
+        stats.rows_read = disk_snap["rows_read"]
+        stats.rows_written = disk_snap["rows_written"]
+        stats.files_created = disk_snap["files_created"]
+        disk.work.seconds = work_snap["seconds"]
+        disk.work.rows_sorted = work_snap["rows_sorted"]
+        disk.work.rows_scanned = work_snap["rows_scanned"]
+        disk._counter = work_snap["spill_counter"]
+
+    # -- failure / shutdown ------------------------------------------------
+
+    def _cleanup_failure(self, origin: BaseException) -> BaseException:
+        """Abort every worker, free orphaned segments, pick the best origin
+        (a real error beats a secondary RankFailure, like the thread
+        engine's error triage)."""
+        self._broadcast(("abort",))
+        deadline = time.monotonic() + _ABORT_DRAIN_SEC
+        for j, conn in enumerate(self.conns):
+            while True:
+                try:
+                    budget = max(0.0, deadline - time.monotonic())
+                    if not conn.poll(budget):
+                        break
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    break
+                if msg[0] == "step":
+                    shm.unlink_segments(_encoded_segments(msg[6]))
+                elif msg[0] == "done":
+                    shm.unlink_segments(msg[3].segments)
+                elif msg[0] == "error":
+                    exc, _tb = msg[1]
+                    if isinstance(origin, RankFailure) and not isinstance(
+                        exc, RankFailure
+                    ):
+                        origin = exc
+        return origin
+
+    def close(self) -> None:
+        for proc in self.procs:
+            proc.join(timeout=_ABORT_DRAIN_SEC)
+            if proc.is_alive():  # pragma: no cover - wedged worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self.conns:
+            try:
+                conn.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+
+BACKENDS: dict[str, type] = {
+    ThreadBackend.name: ThreadBackend,
+    ProcessBackend.name: ProcessBackend,
+}

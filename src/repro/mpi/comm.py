@@ -4,32 +4,105 @@ Every collective here is blocking and must be called by *all* ranks in the
 same order — the same contract real MPI imposes on the paper's code.  Each
 call is one BSP superstep: the rank's local work since the previous
 collective is snapshotted into the cluster clock, payloads are exchanged
-through shared mailboxes, and the barrier action (see
-:mod:`repro.mpi.engine`) advances simulated time and the traffic meters.
+through the rank's :class:`Transport`, and the superstep commit (see
+:mod:`repro.mpi.engine` / :mod:`repro.mpi.backends`) advances simulated
+time and the traffic meters.
 
-Payloads are ordinary Python objects; NumPy arrays and
-:class:`~repro.storage.table.Relation` values travel by reference (the
-simulation shares one address space) but are metered at their buffer size,
-matching the buffer-protocol fast path of mpi4py.  Rank code must treat
-received arrays as read-only or copy them, exactly as it would after a real
-``MPI_Recv``.
+:class:`Comm` is transport-agnostic: the same collective algebra and
+metering runs over the in-process mailbox transport of the thread backend
+(:class:`ThreadTransport`, payloads travel by reference) and over the
+shared-memory transport of the process backend (payloads cross address
+spaces; see :mod:`repro.mpi.backends`).  Under the thread backend rank
+code must treat received arrays as read-only or copy them, exactly as it
+would after a real ``MPI_Recv``; the process backend delivers private
+copies, a safe superset of that contract.  Payloads are metered at their
+buffer size either way, matching the buffer-protocol fast path of mpi4py.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Protocol, Sequence
 
 import numpy as np
 
-from repro.mpi.errors import CollectiveMisuse, MPIError, RankFailure
+from repro.mpi.errors import CollectiveMisuse, RankFailure
 from repro.mpi.stats import payload_nbytes
 
-__all__ = ["Comm"]
+__all__ = ["BARRIER_TIMEOUT_SEC", "Comm", "ThreadTransport", "Transport"]
 
 #: Upper bound on how long one rank waits for its peers before the run is
 #: declared wedged.  Generous: the whole benchmark suite runs in minutes.
 BARRIER_TIMEOUT_SEC = 600.0
+
+
+class Transport(Protocol):
+    """One rank's wire: runs a single collective superstep.
+
+    ``exchange`` blocks until every rank has entered the same collective,
+    hands the metering row to the superstep commit, applies ``reader`` to
+    the per-rank payload slots (index = source rank), and returns its
+    result.  Implementations must also guarantee the commit protocol of
+    :meth:`repro.mpi.clock.BSPClock.commit_superstep` +
+    :meth:`repro.mpi.stats.CommStats.record` runs exactly once per
+    superstep.
+    """
+
+    def exchange(
+        self,
+        kind: str,
+        payload: Any,
+        send_row: np.ndarray,
+        reader: Callable[[Sequence[Any]], Any],
+    ) -> Any: ...
+
+
+class ThreadTransport:
+    """Shared-mailbox transport of the thread backend.
+
+    All ranks live in one address space; ``slots[j]`` is rank ``j``'s
+    mailbox and two barriers frame each superstep.  The *enter* barrier's
+    action (installed by the engine) meters traffic and advances the
+    clock; the *leave* barrier keeps slots stable until every reader is
+    done.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        slots: list,
+        enter: threading.Barrier,
+        leave: threading.Barrier,
+    ):
+        self.rank = rank
+        self.size = size
+        self._slots = slots
+        self._enter = enter
+        self._leave = leave
+
+    def _wait(self, barrier: threading.Barrier) -> None:
+        try:
+            barrier.wait(timeout=BARRIER_TIMEOUT_SEC)
+        except threading.BrokenBarrierError:
+            raise RankFailure(
+                f"rank {self.rank}: a peer rank aborted the computation"
+            ) from None
+
+    def exchange(
+        self,
+        kind: str,
+        payload: Any,
+        send_row: np.ndarray,
+        reader: Callable[[Sequence[Any]], Any],
+    ) -> Any:
+        self._slots[self.rank] = (payload, send_row, kind)
+        self._wait(self._enter)  # barrier action meters + advances the clock
+        try:
+            result = reader([slot[0] for slot in self._slots])
+        finally:
+            self._wait(self._leave)  # everyone done reading; slots reusable
+        return result
 
 
 class Comm:
@@ -39,18 +112,14 @@ class Comm:
         self,
         rank: int,
         size: int,
-        slots: list,
-        enter: threading.Barrier,
-        leave: threading.Barrier,
+        transport: Transport,
         clock,
         stats,
         disk,
     ):
         self.rank = rank
         self.size = size
-        self._slots = slots
-        self._enter = enter
-        self._leave = leave
+        self._transport = transport
         self.clock = clock
         self.stats = stats
         self.disk = disk
@@ -68,14 +137,6 @@ class Comm:
 
     # -- superstep plumbing -------------------------------------------------
 
-    def _wait(self, barrier: threading.Barrier) -> None:
-        try:
-            barrier.wait(timeout=BARRIER_TIMEOUT_SEC)
-        except threading.BrokenBarrierError:
-            raise RankFailure(
-                f"rank {self.rank}: a peer rank aborted the computation"
-            ) from None
-
     def _exchange(
         self,
         kind: str,
@@ -87,13 +148,7 @@ class Comm:
         self.clock.mark_segment(
             self.rank, self.disk.stats.blocks_total, self.disk.work.seconds
         )
-        self._slots[self.rank] = (payload, send_row, kind)
-        self._wait(self._enter)  # barrier action meters + advances the clock
-        try:
-            result = reader([slot[0] for slot in self._slots])
-        finally:
-            self._wait(self._leave)  # everyone done reading; slots reusable
-        return result
+        return self._transport.exchange(kind, payload, send_row, reader)
 
     def _zeros(self) -> np.ndarray:
         return np.zeros(self.size, dtype=np.int64)
@@ -182,15 +237,30 @@ class Comm:
         )
 
     def allreduce(self, value: float, op: str = "sum") -> float:
-        """All-reduce a scalar with ``sum``/``max``/``min``."""
-        values = self.allgather(float(value))
+        """All-reduce a scalar with ``sum``/``max``/``min``.
+
+        Metered as a true reduction: the wire carries one 8-byte float64
+        per rank pair (``payload_nbytes`` of a 1-element ndarray), and the
+        superstep is recorded under its own ``"allreduce"`` kind instead
+        of masquerading as a list-of-objects allgather.
+        """
+        if op not in ("sum", "max", "min"):
+            raise CollectiveMisuse(f"unsupported allreduce op: {op!r}")
+        arr = np.array([float(value)], dtype=np.float64)
+        row = self._zeros()
+        row[:] = arr.nbytes
+        row[self.rank] = 0
+        values = self._exchange(
+            "allreduce",
+            arr,
+            row,
+            lambda slots: [float(np.asarray(s)[0]) for s in slots],
+        )
         if op == "sum":
             return float(sum(values))
         if op == "max":
             return float(max(values))
-        if op == "min":
-            return float(min(values))
-        raise CollectiveMisuse(f"unsupported allreduce op: {op!r}")
+        return float(min(values))
 
     def sendrecv_left(self, obj: Any) -> Any:
         """Every rank sends ``obj`` to rank-1 and receives rank+1's value.

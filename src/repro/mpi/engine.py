@@ -1,13 +1,20 @@
 """SPMD execution engine for the simulated shared-nothing cluster.
 
-:func:`run_spmd` is the ``mpiexec`` of this reproduction: it spawns ``p``
-rank threads, each executing the *same* rank program against its own
-communicator endpoint and private local disk, waits for completion, and
+:func:`run_spmd` is the ``mpiexec`` of this reproduction: it runs ``p``
+rank programs — each executing the *same* code against its own
+communicator endpoint and private local disk — waits for completion, and
 returns per-rank results together with the BSP clock and traffic meters.
 
-Failure semantics: if any rank raises, both mailbox barriers are broken so
-every peer unblocks with :class:`~repro.mpi.errors.RankFailure`; the engine
-then re-raises the originating exception to the caller.
+*How* the ranks execute is pluggable (see :mod:`repro.mpi.backends` and
+``MachineSpec.backend``): the default ``thread`` backend runs ranks as
+threads in this process (deterministic, shared mailboxes), while the
+``process`` backend forks one worker process per rank and runs the
+collectives over shared memory, so ``host_seconds`` scales with real
+cores.  Simulated-time and traffic accounting are backend-independent.
+
+Failure semantics: if any rank raises, every peer blocked in a collective
+unblocks with :class:`~repro.mpi.errors.RankFailure`; the engine then
+re-raises the originating exception to the caller.
 """
 
 from __future__ import annotations
@@ -22,8 +29,8 @@ import numpy as np
 
 from repro.config import MachineSpec
 from repro.mpi.clock import BSPClock
-from repro.mpi.comm import Comm
-from repro.mpi.errors import CollectiveMisuse, MPIError, RankFailure
+from repro.mpi.comm import Comm, ThreadTransport
+from repro.mpi.errors import CollectiveMisuse, MPIError
 from repro.mpi.stats import CommStats
 from repro.storage.disk import LocalDisk, WorkMeter
 
@@ -85,6 +92,8 @@ class Cluster:
             )
             for j in range(spec.p)
         ]
+        # Thread-backend state (mailboxes + superstep barriers).  The
+        # process backend replays the same commit parent-side instead.
         self._slots: list = [None] * spec.p
         self._action_error: BaseException | None = None
         self._enter = threading.Barrier(spec.p, action=self._safe_action)
@@ -119,13 +128,14 @@ class Cluster:
     # -- running -------------------------------------------------------------
 
     def comm(self, rank: int) -> Comm:
-        """Communicator endpoint for ``rank`` (used by tests directly)."""
+        """Thread-backend communicator endpoint for ``rank`` (also used by
+        tests to drive a single endpoint directly)."""
         return Comm(
             rank,
             self.spec.p,
-            self._slots,
-            self._enter,
-            self._leave,
+            ThreadTransport(
+                rank, self.spec.p, self._slots, self._enter, self._leave
+            ),
             self.clock,
             self.stats,
             self.disks[rank],
@@ -137,57 +147,11 @@ class Cluster:
         args: Sequence[Any] = (),
     ) -> ClusterResult:
         """Execute ``rank_program(comm, *args)`` on every rank."""
-        p = self.spec.p
-        results: list = [None] * p
-        finals: list[float] = [0.0] * p
-        errors: list[BaseException | None] = [None] * p
+        from repro.mpi.backends import get_backend
+
+        backend = get_backend(self.spec.backend)
         t0 = time.perf_counter()
-
-        def worker(rank: int) -> None:
-            comm = self.comm(rank)
-            self.clock.rank_start(
-                rank,
-                self.disks[rank].stats.blocks_total,
-                self.disks[rank].work.seconds,
-            )
-            try:
-                results[rank] = rank_program(comm, *args)
-                # Fold in the tail segment after the last collective.
-                self.clock.mark_segment(
-                    rank,
-                    self.disks[rank].stats.blocks_total,
-                    self.disks[rank].work.seconds,
-                )
-                finals[rank] = self.clock._pending_segment[rank]
-                self.clock._pending_segment[rank] = 0.0
-            except BaseException as exc:  # noqa: BLE001 - must not hang peers
-                errors[rank] = exc
-                self._enter.abort()
-                self._leave.abort()
-
-        threads = [
-            threading.Thread(
-                target=worker, args=(j,), name=f"rank-{j}", daemon=True
-            )
-            for j in range(p)
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-
-        if self._action_error is not None:
-            raise self._action_error
-        origin = next(
-            (e for e in errors if e is not None and not isinstance(e, RankFailure)),
-            None,
-        )
-        if origin is not None:
-            raise origin
-        if any(errors):
-            raise next(e for e in errors if e is not None)
-
-        self.clock.finish(finals)
+        results = backend.run(self, rank_program, args)
         return ClusterResult(
             rank_results=results,
             clock=self.clock,
@@ -210,7 +174,8 @@ def run_spmd(
     rank_program:
         ``fn(comm, *args)`` executed identically on every rank.
     spec:
-        Machine description (rank count, cost-model parameters).
+        Machine description (rank count, execution backend, cost-model
+        parameters).
     args:
         Extra positional arguments passed to every rank.
     disk_root:

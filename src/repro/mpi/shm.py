@@ -1,0 +1,178 @@
+"""Shared-memory payload codec for the process execution backend.
+
+Collective payloads in this code base are NumPy-heavy (packed key arrays,
+measures, :class:`~repro.storage.table.Relation` /
+:class:`~repro.core.viewdata.ViewData` values) with a thin shell of small
+Python control objects (schedule trees, pivot lists, report dataclasses).
+Shipping them between worker *processes* through a pipe would pickle the
+arrays byte-for-byte into the stream — an avoidable copy through the
+kernel.  Instead, :func:`encode` pickles the object graph while diverting
+every large numeric array into a POSIX ``multiprocessing.shared_memory``
+segment; what crosses the pipe is a small pickle blob holding segment
+descriptors.  :func:`decode` reattaches the segments and copies the arrays
+back out (one ``memcpy`` — the receiver owns its data, matching the
+"treat received buffers as read-only or copy" contract of the thread
+backend).
+
+Lifecycle: the *creator* of a blob owns its segments and must call
+:func:`unlink_segments` once every consumer has decoded — the engine's
+superstep protocol sequences this with an ack/resume round, mirroring the
+leave-barrier of the thread backend.  Unlinking is idempotent so the
+coordinator can also sweep segments during failure cleanup.
+
+Small arrays (under :data:`SHM_MIN_BYTES`), object-dtype arrays and
+non-array values ride the pickle stream unchanged — the mpi4py object
+path, with the buffer-protocol fast path reserved for payloads where it
+pays.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "SHM_MIN_BYTES",
+    "ShmBlob",
+    "decode",
+    "encode",
+    "unlink_segments",
+]
+
+#: Arrays smaller than one page are cheaper inline than as a segment
+#: (``shm_open`` + ``mmap`` + ``unlink`` cost more than pickling 4 KB).
+SHM_MIN_BYTES = 1 << 12
+
+#: NumPy dtype kinds eligible for the shared-memory fast path
+#: (fixed-width numeric buffers; the hot lanes are int64/float64).
+_SHM_DTYPE_KINDS = "biufc"
+
+_PID_TAG = "repro-shm-ndarray"
+
+
+@dataclass(frozen=True)
+class ShmBlob:
+    """One encoded payload: pickle bytes + the segments it references.
+
+    ``segments`` lists the shared-memory names *created* by the encoder;
+    the blob itself is cheap to pickle and may be relayed to any number of
+    processes before the creator unlinks.
+    """
+
+    data: bytes
+    segments: tuple[str, ...]
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.data)
+
+
+class _ShmPickler(pickle.Pickler):
+    """Pickler that spills large numeric ndarrays to shared memory."""
+
+    def __init__(self, file: io.BytesIO, segments: list[str]):
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._segments = segments
+        # pickle consults persistent_id before its memo, so an array
+        # referenced twice would otherwise get two segments.
+        self._seen: dict[int, tuple] = {}
+
+    def persistent_id(self, obj: Any):
+        if not isinstance(obj, np.ndarray):
+            return None
+        if (
+            obj.dtype.kind not in _SHM_DTYPE_KINDS
+            or obj.nbytes < SHM_MIN_BYTES
+        ):
+            return None
+        pid = self._seen.get(id(obj))
+        if pid is not None:
+            return pid
+        arr = np.ascontiguousarray(obj)
+        seg = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+        try:
+            dst = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+            dst[...] = arr
+            pid = (_PID_TAG, seg.name, arr.dtype.str, arr.shape)
+        finally:
+            seg.close()  # the mapping; the segment lives until unlink
+        self._segments.append(seg.name)
+        self._seen[id(obj)] = pid
+        return pid
+
+
+class _ShmUnpickler(pickle.Unpickler):
+    """Unpickler that copies persistent ndarrays back out of segments."""
+
+    def persistent_load(self, pid):
+        tag, name, dtype_str, shape = pid
+        if tag != _PID_TAG:  # pragma: no cover - foreign persistent id
+            raise pickle.UnpicklingError(f"unknown persistent id {tag!r}")
+        seg = _attach(name)
+        try:
+            src = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=seg.buf)
+            return src.copy()
+        finally:
+            seg.close()
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting its ownership.
+
+    On Python 3.10–3.12 ``SharedMemory(name=...)`` registers the segment
+    with the (process-tree-wide) resource tracker even for plain
+    attaches, which then races the real owner's register/unlink pair
+    (cpython bpo-39959).  3.13 grew ``track=False``; earlier versions
+    need registration suppressed for the duration of the attach.  The
+    engine only attaches from single-threaded worker/coordinator code, so
+    the brief monkeypatch cannot race other shared-memory users.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    from multiprocessing import resource_tracker
+
+    real_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = real_register
+
+
+def encode(obj: Any) -> ShmBlob:
+    """Encode one payload; large numeric arrays land in shared memory."""
+    segments: list[str] = []
+    buf = io.BytesIO()
+    try:
+        _ShmPickler(buf, segments).dump(obj)
+    except Exception:
+        unlink_segments(segments)  # don't leak partial encodings
+        raise
+    return ShmBlob(buf.getvalue(), tuple(segments))
+
+
+def decode(blob: ShmBlob) -> Any:
+    """Decode a blob; the result owns private copies of every array."""
+    return _ShmUnpickler(io.BytesIO(blob.data)).load()
+
+
+def unlink_segments(names) -> None:
+    """Free segments by name; missing segments are ignored (idempotent)."""
+    for name in names:
+        try:
+            seg = _attach(name)
+        except FileNotFoundError:
+            continue
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - raced cleanup
+            pass
+        finally:
+            seg.close()

@@ -1,0 +1,321 @@
+"""Tests for the pluggable execution backends (thread vs process).
+
+The process backend must be *observationally identical* to the thread
+backend: same rank results, same simulated clock, same byte metering,
+same disk accounting — only ``host_seconds`` may differ.  These tests
+pin that equivalence down on end-to-end cube builds and on the raw
+collectives, plus the shared-memory payload codec underneath.
+
+All equivalence runs use ``compute_scale=0.0`` so the clock carries no
+measured host CPU and the comparison can demand exact equality.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.config import CubeConfig, MachineSpec
+from repro.core.cube import build_data_cube
+from repro.mpi import shm
+from repro.mpi.backends import ProcessBackend, ThreadBackend, get_backend
+from repro.mpi.engine import run_spmd
+from repro.mpi.errors import CollectiveMisuse, MPIError
+
+from .conftest import make_relation
+
+requires_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process backend needs the fork start method",
+)
+
+
+def det_spec(p, backend, **kw):
+    """Deterministic machine: no measured-CPU term in the clock."""
+    return MachineSpec(p=p, backend=backend, compute_scale=0.0, **kw)
+
+
+class TestBackendRegistry:
+    def test_get_backend(self):
+        assert isinstance(get_backend("thread"), ThreadBackend)
+        assert isinstance(get_backend("process"), ProcessBackend)
+
+    def test_unknown_backend(self):
+        with pytest.raises(MPIError, match="unknown execution backend"):
+            get_backend("ray")
+
+
+@requires_fork
+class TestProcessCollectives:
+    """The raw collectives under the process backend (cf. test_mpi.py)."""
+
+    def test_allgather_large_arrays(self):
+        # Arrays above SHM_MIN_BYTES travel through shared memory.
+        n = shm.SHM_MIN_BYTES // 8 + 10
+
+        def prog(c):
+            got = c.allgather(np.full(n, c.rank, dtype=np.int64))
+            return [int(g[0]) for g in got]
+
+        res = run_spmd(prog, det_spec(3, "process"))
+        assert res.rank_results == [[0, 1, 2]] * 3
+
+    def test_bcast_gather_roundtrip(self):
+        def prog(c):
+            seed = c.bcast({"base": 7} if c.rank == 1 else None, root=1)
+            return c.gather(seed["base"] * c.rank, root=0)
+
+        res = run_spmd(prog, det_spec(4, "process"))
+        assert res.rank_results[0] == [0, 7, 14, 21]
+        assert res.rank_results[1:] == [None, None, None]
+
+    def test_scatter(self):
+        def prog(c):
+            lanes = (
+                [np.full(1000, k, dtype=np.float64) for k in range(c.size)]
+                if c.rank == 2
+                else None
+            )
+            return float(c.scatter(lanes, root=2)[0])
+
+        res = run_spmd(prog, det_spec(4, "process"))
+        assert res.rank_results == [0.0, 1.0, 2.0, 3.0]
+
+    def test_alltoall(self):
+        def prog(c):
+            lanes = [
+                np.full(600, c.rank * 10 + k, dtype=np.int64)
+                for k in range(c.size)
+            ]
+            return [int(g[0]) for g in c.alltoall(lanes)]
+
+        res = run_spmd(prog, det_spec(3, "process"))
+        for k, got in enumerate(res.rank_results):
+            assert got == [j * 10 + k for j in range(3)]
+
+    def test_sendrecv_left_and_barrier(self):
+        def prog(c):
+            c.barrier()
+            return c.sendrecv_left(("tok", c.rank))
+
+        res = run_spmd(prog, det_spec(4, "process"))
+        assert res.rank_results == [("tok", 1), ("tok", 2), ("tok", 3), None]
+
+    def test_allreduce(self):
+        def prog(c):
+            return (c.allreduce(c.rank, "sum"), c.allreduce(c.rank, "max"))
+
+        res = run_spmd(prog, det_spec(4, "process"))
+        assert res.rank_results == [(6.0, 3.0)] * 4
+
+    def test_rank_failure_propagates_original(self):
+        def prog(c):
+            if c.rank == 1:
+                raise KeyError("worker blew up")
+            c.barrier()
+            c.allgather(c.rank)
+
+        with pytest.raises(KeyError, match="worker blew up"):
+            run_spmd(prog, det_spec(3, "process"))
+
+    def test_mismatched_collectives_rejected(self):
+        def prog(c):
+            if c.rank == 0:
+                c.bcast(1, root=0)
+            else:
+                c.gather(1, root=0)
+
+        with pytest.raises(CollectiveMisuse, match="disagree"):
+            run_spmd(prog, det_spec(2, "process"))
+
+    def test_early_exit_vs_collective_rejected(self):
+        def prog(c):
+            if c.rank == 0:
+                return "done"
+            c.barrier()
+
+        with pytest.raises(CollectiveMisuse):
+            run_spmd(prog, det_spec(2, "process"))
+
+
+class TestAllreduceMetering:
+    """Satellite: allreduce must meter like a reduction, not an object
+    allgather — one 8-byte float lane per off-diagonal pair."""
+
+    @pytest.mark.parametrize(
+        "backend",
+        ["thread", pytest.param("process", marks=requires_fork)],
+    )
+    def test_comm_bytes(self, backend):
+        p = 4
+        res = run_spmd(
+            lambda c: c.allreduce(c.rank * 1.5, "sum"),
+            det_spec(p, backend),
+        )
+        assert res.stats.total_bytes == p * (p - 1) * 8
+        assert set(res.stats.bytes_by_kind) == {"allreduce"}
+
+    def test_value_independent(self):
+        # Metering must not depend on the Python repr of the floats.
+        a = run_spmd(lambda c: c.allreduce(0.0), det_spec(3, "thread"))
+        b = run_spmd(
+            lambda c: c.allreduce(1.23456789e300), det_spec(3, "thread")
+        )
+        assert a.stats.total_bytes == b.stats.total_bytes == 3 * 2 * 8
+
+
+def _cube_fingerprint(cube):
+    """Everything observable about a build except host wall-clock."""
+    m = cube.metrics
+    per_view = {}
+    for j, rv in enumerate(cube.rank_views):
+        for view, vd in sorted(rv.items()):
+            per_view[(j, view)] = (
+                vd.order,
+                vd.keys.tobytes(),
+                vd.measure.tobytes(),
+            )
+    return {
+        "simulated_seconds": m.simulated_seconds,
+        "comm_bytes": m.comm_bytes,
+        "disk_blocks": m.disk_blocks,
+        "output_rows": m.output_rows,
+        "view_count": m.view_count,
+        "phase_seconds": m.phase_seconds,
+        "views": per_view,
+    }
+
+
+CONFIGS = [
+    # (n, cards, p, machine kwargs, cube kwargs)
+    pytest.param(
+        600, (8, 6, 4), 2, {}, {}, id="small-p2"
+    ),
+    pytest.param(
+        1500, (12, 8, 6, 4), 4, {}, {"agg": "max"}, id="d4-p4-max"
+    ),
+    pytest.param(
+        1200,
+        (16, 9, 5),
+        3,
+        {"memory_budget": 1 << 12, "block_size": 1 << 6},
+        {},
+        id="external-memory-p3",
+    ),
+]
+
+
+@requires_fork
+class TestBackendEquivalence:
+    """Tentpole acceptance: identical RunResult metering across backends."""
+
+    @pytest.mark.parametrize("n,cards,p,mkw,ckw", CONFIGS)
+    def test_cube_builds_identical(self, n, cards, p, mkw, ckw):
+        data = make_relation(n, cards, seed=n)
+        config = CubeConfig(**ckw)
+        fingerprints = {}
+        for backend in ("thread", "process"):
+            cube = build_data_cube(
+                data, cards, det_spec(p, backend, **mkw), config
+            )
+            fingerprints[backend] = _cube_fingerprint(cube)
+        assert fingerprints["thread"] == fingerprints["process"]
+
+    def test_backend_override_argument(self):
+        data = make_relation(400, (6, 4), seed=9)
+        base = det_spec(2, "thread")
+        a = build_data_cube(data, (6, 4), base)
+        b = build_data_cube(data, (6, 4), base, backend="process")
+        assert _cube_fingerprint(a) == _cube_fingerprint(b)
+
+    def test_rank_failure_equivalence(self):
+        def prog(c):
+            c.set_phase("warmup")
+            c.allgather(np.arange(700, dtype=np.int64) + c.rank)
+            if c.rank == c.size - 1:
+                raise ValueError("injected fault")
+            c.barrier()
+
+        errors = {}
+        for backend in ("thread", "process"):
+            with pytest.raises(ValueError, match="injected fault") as exc:
+                run_spmd(prog, det_spec(3, backend))
+            errors[backend] = str(exc.value)
+        assert errors["thread"] == errors["process"]
+
+
+class TestShmCodec:
+    def test_roundtrip_nested(self):
+        big = np.arange(4096, dtype=np.int64)
+        obj = {
+            "big": big,
+            "small": np.arange(3, dtype=np.float64),
+            "shell": [("x", 1.5), None, {"y": big[:10].copy()}],
+        }
+        blob = shm.encode(obj)
+        try:
+            out = shm.decode(blob)
+        finally:
+            shm.unlink_segments(blob.segments)
+        np.testing.assert_array_equal(out["big"], obj["big"])
+        np.testing.assert_array_equal(out["small"], obj["small"])
+        assert out["shell"][0] == ("x", 1.5)
+        assert out["shell"][1] is None
+
+    def test_large_arrays_spill_small_stay_inline(self):
+        big = np.zeros(shm.SHM_MIN_BYTES // 8, dtype=np.float64)
+        small = np.zeros(4, dtype=np.float64)
+        blob_big = shm.encode(big)
+        try:
+            assert len(blob_big.segments) == 1
+            assert blob_big.nbytes < big.nbytes  # descriptor, not the data
+        finally:
+            shm.unlink_segments(blob_big.segments)
+        blob_small = shm.encode(small)
+        assert blob_small.segments == ()
+        np.testing.assert_array_equal(shm.decode(blob_small), small)
+
+    def test_shared_array_encoded_once(self):
+        arr = np.arange(2048, dtype=np.int64)
+        blob = shm.encode([arr, arr, {"again": arr}])
+        try:
+            assert len(blob.segments) == 1
+            out = shm.decode(blob)
+        finally:
+            shm.unlink_segments(blob.segments)
+        np.testing.assert_array_equal(out[0], arr)
+        np.testing.assert_array_equal(out[2]["again"], arr)
+
+    def test_non_contiguous_array(self):
+        base = np.arange(8192, dtype=np.int64).reshape(64, 128)
+        view = base[::2, ::4]
+        blob = shm.encode(view)
+        try:
+            out = shm.decode(blob)
+        finally:
+            shm.unlink_segments(blob.segments)
+        np.testing.assert_array_equal(out, view)
+
+    def test_object_dtype_stays_inline(self):
+        arr = np.array([{"a": 1}, None, "s"] * 800, dtype=object)
+        blob = shm.encode(arr)
+        assert blob.segments == ()
+        out = shm.decode(blob)
+        assert out[0] == {"a": 1}
+
+    def test_decoded_arrays_are_private_copies(self):
+        arr = np.arange(1024, dtype=np.int64)
+        blob = shm.encode(arr)
+        try:
+            out = shm.decode(blob)
+        finally:
+            shm.unlink_segments(blob.segments)
+        out[0] = -1  # segment already unlinked; copy must survive
+        assert out[0] == -1 and arr[0] == 0
+
+    def test_unlink_idempotent(self):
+        blob = shm.encode(np.zeros(1024, dtype=np.int64))
+        shm.unlink_segments(blob.segments)
+        shm.unlink_segments(blob.segments)  # second pass: no-op

@@ -43,9 +43,30 @@ class TestMachineSpec:
         with pytest.raises(ValueError):
             MachineSpec(disk_sec_per_block=-1.0)
 
-    def test_rejects_nonpositive_compute_scale(self):
+    def test_rejects_negative_compute_scale(self):
         with pytest.raises(ValueError):
-            MachineSpec(compute_scale=0.0)
+            MachineSpec(compute_scale=-0.5)
+
+    def test_zero_compute_scale_is_deterministic_mode(self):
+        # 0.0 disables the measured-CPU term entirely (bit-identical
+        # simulated time across runs and backends).
+        assert MachineSpec(compute_scale=0.0).compute_scale == 0.0
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            MachineSpec(backend="mpi")
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_accepts_supported_backends(self, backend):
+        assert MachineSpec(backend=backend).backend == backend
+
+    def test_with_backend_copies(self):
+        spec = MachineSpec(p=4, block_size=128)
+        other = spec.with_backend("process")
+        assert other.backend == "process"
+        assert other.p == 4
+        assert other.block_size == 128
+        assert spec.backend == "thread"  # original untouched
 
     def test_rejects_bad_bytes_per_row(self):
         with pytest.raises(ValueError):
