@@ -19,10 +19,11 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-figure reproductions.
 """
 
-from repro.config import CubeConfig, MachineSpec, RunResult
+from repro.config import CubeConfig, MachineSpec, RecoveryPolicy, RunResult
 from repro.core.cube import CubeResult, build_data_cube, build_partial_cube
 from repro.core.views import View, canonical_view, parse_view_name, view_name
 from repro.data.generator import DatasetSpec, generate_dataset, paper_preset
+from repro.mpi.faults import FaultPlan
 
 __version__ = "1.0.0"
 
@@ -30,7 +31,9 @@ __all__ = [
     "CubeConfig",
     "CubeResult",
     "DatasetSpec",
+    "FaultPlan",
     "MachineSpec",
+    "RecoveryPolicy",
     "RunResult",
     "View",
     "build_data_cube",

@@ -68,14 +68,38 @@ def cmd_build(args: argparse.Namespace) -> int:
             f"generated {data.nrows:,} rows x {data.width} dims "
             f"(cardinalities {cards}, alpha {args.alpha})"
         )
+    faults = None
+    if args.faults:
+        from repro.mpi.faults import FaultPlan
+
+        if args.faults.startswith("random:"):
+            faults = FaultPlan.random(seed=int(args.faults[7:]), p=args.p)
+        else:
+            faults = FaultPlan.parse(args.faults)
+        print(f"fault plan: {faults.describe()}")
+    recovery = None
+    if faults is not None or args.max_retries is not None:
+        from repro import RecoveryPolicy
+
+        recovery = RecoveryPolicy(
+            max_retries=2 if args.max_retries is None else args.max_retries
+        )
     cube = build_data_cube(
         data,
         cards,
         MachineSpec(p=args.p, backend=args.backend),
         CubeConfig(agg=args.agg),
         selected=None,
+        faults=faults,
+        checkpoint_dir=args.checkpoint_dir,
+        recovery=recovery,
     )
     print(cube.describe())
+    if cube.metrics.attempts > 1:
+        print(
+            f"recovered: {cube.metrics.attempts - 1} failed attempt(s), "
+            f"{cube.metrics.recovered_seconds:.2f}s simulated re-execution"
+        )
     if args.out:
         CubeStore.save(cube, args.out)
         print(f"stored at {args.out}")
@@ -174,6 +198,15 @@ def main(argv: list[str] | None = None) -> int:
                               "(with --from-csv)")
     p_build.add_argument("--measure", default=None,
                          help="measure column (with --from-csv)")
+    p_build.add_argument("--faults", default=None,
+                         help="fault plan, e.g. 'crash@r1s5;delay@r0s2x0.5' "
+                              "or 'random:<seed>' (see repro.mpi.faults)")
+    p_build.add_argument("--checkpoint-dir", default=None,
+                         help="persist per-rank checkpoints after each "
+                              "dimension iteration; recovery resumes there")
+    p_build.add_argument("--max-retries", type=int, default=None,
+                         help="restarts allowed on rank failure "
+                              "(default 2 when --faults is given)")
     p_build.set_defaults(fn=cmd_build)
 
     p_info = sub.add_parser("info", help="describe a stored cube")

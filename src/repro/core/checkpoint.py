@@ -1,0 +1,189 @@
+"""Per-rank checkpointing of the parallel cube build (Procedure 1).
+
+The build iterates over dimension partitions ``Di``; each iteration is a
+natural consistency point: the partition has been globally sorted, its
+``Ti`` pipes executed and its Procedure-3 merge completed, so each rank
+holds a finished piece of every view of that partition.  With a
+checkpoint directory configured, every rank persists exactly that state
+after each iteration:
+
+* the iteration's merged view pieces (``ViewData`` per view),
+* the current ``Di``-root (what ``incremental_roots`` derives the next
+  root from) and its dimension index,
+* rank 0's merge report and schedule tree for the iteration,
+* a meter snapshot (disk counters, modelled-work seconds, phase label) —
+  the rank-local clock state, kept for diagnostics and recovery tests.
+
+Layout (one sub-directory per rank, mirroring the shared-nothing model —
+a rank checkpoints to *its own* local disk)::
+
+    <checkpoint_dir>/rank03/
+        manifest.json        ordered entries {ordinal, dim, file, crc, rows, meters}
+        iter000.ckpt         pickled payload for iteration ordinal 0
+        ...
+
+Integrity: every payload file's CRC-32 is recorded in the manifest and
+re-verified on load; the manifest itself is written atomically
+(tmp + rename).  A damaged or missing entry truncates the usable chain at
+the last intact iteration — :meth:`RankCheckpoint.last_complete` never
+returns an ordinal whose predecessors are not all loadable.  The recovery
+driver then agrees a *global* resume point via an ``allreduce(min)``
+across ranks, so every rank skips the same prefix of iterations and the
+collective schedule stays aligned.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import zlib
+from typing import Any
+
+from repro.mpi.errors import CheckpointError
+
+__all__ = ["RankCheckpoint"]
+
+_MANIFEST = "manifest.json"
+_VERSION = 1
+
+
+class RankCheckpoint:
+    """One rank's checkpoint chain under a shared checkpoint directory."""
+
+    def __init__(self, root: str, rank: int):
+        self.rank = rank
+        self.dir = os.path.join(root, f"rank{rank:02d}")
+        os.makedirs(self.dir, exist_ok=True)
+
+    # -- manifest ----------------------------------------------------------
+
+    def _manifest_path(self) -> str:
+        return os.path.join(self.dir, _MANIFEST)
+
+    def _read_manifest(self) -> list[dict[str, Any]]:
+        try:
+            with open(self._manifest_path(), "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return []
+        if not isinstance(doc, dict) or doc.get("version") != _VERSION:
+            return []
+        entries = doc.get("iterations", [])
+        return entries if isinstance(entries, list) else []
+
+    def _write_manifest(self, entries: list[dict[str, Any]]) -> None:
+        tmp = self._manifest_path() + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump({"version": _VERSION, "iterations": entries}, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self._manifest_path())
+
+    # -- chain state -------------------------------------------------------
+
+    def last_complete(self) -> int:
+        """Highest ordinal ``k`` such that iterations ``0..k`` are all
+        present and pass their CRC checks; ``-1`` for an empty/damaged
+        chain.  Damage mid-chain truncates (later entries are unusable —
+        the build could not have produced them without the earlier state)."""
+        entries = self._read_manifest()
+        last = -1
+        for expected, entry in enumerate(entries):
+            if entry.get("ordinal") != expected:
+                break
+            try:
+                self._verified_bytes(entry)
+            except CheckpointError:
+                break
+            last = expected
+        return last
+
+    def entry(self, ordinal: int) -> dict[str, Any] | None:
+        """The manifest entry for one iteration (meters included)."""
+        for e in self._read_manifest():
+            if e.get("ordinal") == ordinal:
+                return e
+        return None
+
+    # -- save / load -------------------------------------------------------
+
+    def save(
+        self,
+        ordinal: int,
+        dim: int,
+        payload: dict[str, Any],
+        meters: dict[str, Any] | None = None,
+    ) -> int:
+        """Persist one completed iteration; returns the row count saved
+        (the caller charges it to the rank's disk meter, so checkpoint
+        I/O is an honest part of simulated time).
+
+        Re-saving an ordinal (a recovery attempt redoing the iteration it
+        crashed in) overwrites the entry and truncates anything after it.
+        """
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        fname = f"iter{ordinal:03d}.ckpt"
+        tmp = os.path.join(self.dir, fname + ".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, os.path.join(self.dir, fname))
+        rows = _payload_rows(payload)
+        entries = [
+            e for e in self._read_manifest() if e.get("ordinal", -1) < ordinal
+        ]
+        entries.append(
+            {
+                "ordinal": ordinal,
+                "dim": dim,
+                "file": fname,
+                "crc": zlib.crc32(blob),
+                "rows": rows,
+                "meters": meters or {},
+            }
+        )
+        self._write_manifest(entries)
+        return rows
+
+    def load(self, ordinal: int) -> tuple[dict[str, Any], int]:
+        """Load one iteration's payload; returns ``(payload, rows)``.
+
+        Raises :class:`CheckpointError` on a missing or corrupt entry —
+        callers resolve the resume point with :meth:`last_complete`
+        *before* loading, so this only fires on filesystem races."""
+        entry = self.entry(ordinal)
+        if entry is None:
+            raise CheckpointError(
+                f"rank {self.rank}: no checkpoint for iteration {ordinal}"
+            )
+        blob = self._verified_bytes(entry)
+        return pickle.loads(blob), int(entry.get("rows", 0))
+
+    def _verified_bytes(self, entry: dict[str, Any]) -> bytes:
+        path = os.path.join(self.dir, str(entry.get("file", "")))
+        try:
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except OSError:
+            raise CheckpointError(
+                f"rank {self.rank}: checkpoint file {entry.get('file')!r} "
+                "unreadable"
+            ) from None
+        if zlib.crc32(blob) != entry.get("crc"):
+            raise CheckpointError(
+                f"rank {self.rank}: checkpoint file {entry.get('file')!r} "
+                "failed its CRC check"
+            )
+        return blob
+
+
+def _payload_rows(payload: dict[str, Any]) -> int:
+    rows = 0
+    for data in payload.get("views", {}).values():
+        rows += data.nrows
+    root = payload.get("root")
+    if root is not None:
+        rows += root.nrows
+    return rows

@@ -28,8 +28,9 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.config import CubeConfig, MachineSpec, RunResult
+from repro.config import CubeConfig, MachineSpec, RecoveryPolicy, RunResult
 from repro.core.aggregate import prepare_measure
+from repro.core.checkpoint import RankCheckpoint
 from repro.core.estimate import estimate_view_sizes
 from repro.core.merge import MergeReport, merge_partitions
 from repro.core.partial import build_partial_schedule_tree, prune_full_tree
@@ -39,7 +40,7 @@ from repro.core.sample_sort import adaptive_sample_sort
 from repro.core.viewdata import ViewData, codec_for_order
 from repro.core.views import View, canonical_view, view_name
 from repro.mpi.comm import Comm
-from repro.mpi.engine import ClusterResult, run_spmd
+from repro.mpi.engine import Cluster, ClusterResult
 from repro.storage.external_sort import external_sort
 from repro.storage.scan import aggregate_sorted_keys
 from repro.storage.table import Relation
@@ -146,6 +147,7 @@ def _rank_program(
     selected: tuple[View, ...] | None,
     estimate_method: str,
     memory_budget: int,
+    checkpoint_root: str | None = None,
 ):
     raw = chunks[comm.rank]
     d = len(cards)
@@ -157,7 +159,30 @@ def _rank_program(
     prev_root: ViewData | None = None
     prev_i: int | None = None
 
-    for i, root, pviews in partition_all(d, selected):
+    # ---- Checkpoint/recovery prologue --------------------------------
+    # With checkpointing on, every rank inspects its own chain, then all
+    # ranks agree on the last iteration *everyone* completed (min across
+    # ranks): iterations up to the resume point replay from local disk
+    # with zero collectives, so the superstep schedule stays aligned.
+    ckpt: RankCheckpoint | None = None
+    resume = -1
+    if checkpoint_root is not None:
+        ckpt = RankCheckpoint(checkpoint_root, comm.rank)
+        comm.set_phase("recovery")
+        resume = int(comm.allreduce(ckpt.last_complete(), "min"))
+
+    for ordinal, (i, root, pviews) in enumerate(partition_all(d, selected)):
+        if ckpt is not None and ordinal <= resume:
+            payload, rows = ckpt.load(ordinal)
+            # Replaying the checkpoint is a real local-disk read; charge
+            # it so recovery cost shows up in simulated time.
+            comm.disk.charge_scan(rows)
+            comm.disk.work.charge_scan(rows)
+            out_views.update(payload["views"])
+            reports.append(payload["report"])
+            trees.append(payload["tree"])
+            prev_root, prev_i = payload["root"], payload["root_i"]
+            continue
         root_order = tuple(range(i, d))
 
         # ---- Step 1: data partitioning -------------------------------
@@ -245,6 +270,31 @@ def _rank_program(
             out_views[v] = data
         reports.append(report)
         trees.append(tree)
+
+        if ckpt is not None:
+            # The Di iteration is a consistency point: partition sorted,
+            # Ti pipes run, Procedure-3 merge done.  Persist this rank's
+            # piece + meter snapshot so a failed later iteration resumes
+            # here instead of from the raw data.
+            comm.set_phase(f"checkpoint[{i}]")
+            saved = ckpt.save(
+                ordinal,
+                i,
+                {
+                    "views": merged,
+                    "root": prev_root,
+                    "root_i": prev_i,
+                    "report": report,
+                    "tree": tree,
+                },
+                meters={
+                    "disk": comm.disk.stats.snapshot(),
+                    "work_seconds": comm.disk.work.seconds,
+                    "phase": f"checkpoint[{i}]",
+                },
+            )
+            comm.disk.charge_store(saved)
+            comm.disk.work.charge_scan(saved)
 
     return out_views, reports, trees
 
@@ -370,6 +420,9 @@ def build_data_cube(
     estimate_method: str = "sample",
     disk_root: str | None = None,
     backend: str | None = None,
+    faults=None,
+    checkpoint_dir: str | None = None,
+    recovery: RecoveryPolicy | None = None,
 ) -> CubeResult:
     """Construct the (full or partial) data cube of ``relation`` in parallel.
 
@@ -397,6 +450,19 @@ def build_data_cube(
         Execution backend override (``"thread"`` or ``"process"``); ``None``
         keeps ``spec.backend``.  Metering is backend-independent — only
         ``host_seconds`` changes.
+    faults:
+        Optional :class:`~repro.mpi.faults.FaultPlan` injected into every
+        attempt (deterministic crash/corruption/straggler/disk-full).
+    checkpoint_dir:
+        Directory for per-rank iteration checkpoints.  Each rank persists
+        its merged view pieces + meter snapshot after every dimension
+        iteration; a recovery attempt resumes from the last iteration all
+        ranks completed instead of rebuilding from the raw data.
+    recovery:
+        :class:`~repro.config.RecoveryPolicy` enabling restart-on-failure.
+        ``None`` (default) propagates the first failure unchanged.  The
+        failed attempts' committed simulated time / traffic / disk blocks
+        are folded into the returned metrics, so recovery cost is honest.
 
     Returns
     -------
@@ -439,14 +505,48 @@ def build_data_cube(
         config = replace(config, agg=internal_agg)
 
     chunks = split_even(relation, spec.p)
-    cluster = run_spmd(
-        _rank_program,
-        spec,
-        args=(chunks, cards, config, selected, estimate_method,
-              spec.memory_budget),
-        disk_root=disk_root,
+    args = (chunks, cards, config, selected, estimate_method,
+            spec.memory_budget, checkpoint_dir)
+
+    # Recovery loop.  Each attempt is a fresh cluster (fresh clock and
+    # meters); a failed attempt's committed simulated time / traffic /
+    # blocks are banked as "recovered_*" and folded into the final
+    # metrics — the simulation honestly pays for re-execution, exactly as
+    # the paper's cluster would.
+    attempt = 0
+    recovered_seconds = 0.0
+    recovered_bytes = 0
+    recovered_blocks = 0
+    while True:
+        cluster = Cluster(
+            spec, disk_root=disk_root, faults=faults, attempt=attempt
+        )
+        try:
+            result = cluster.run(_rank_program, args)
+            break
+        except BaseException as exc:
+            recovered_seconds += cluster.clock.sim_time
+            recovered_bytes += cluster.stats.total_bytes
+            recovered_blocks += sum(
+                d.stats.blocks_total for d in cluster.disks
+            )
+            attempt += 1
+            if (
+                recovery is None
+                or attempt > recovery.max_retries
+                or not recovery.is_retryable(exc)
+            ):
+                raise
+            recovered_seconds += recovery.backoff_for(attempt)
+    return _assemble(
+        result,
+        cards,
+        config.agg,
+        attempts=attempt + 1,
+        recovered_seconds=recovered_seconds,
+        recovered_bytes=recovered_bytes,
+        recovered_blocks=recovered_blocks,
     )
-    return _assemble(cluster, cards, config.agg)
 
 
 def build_partial_cube(
@@ -465,7 +565,13 @@ def build_partial_cube(
 
 
 def _assemble(
-    cluster: ClusterResult, cards: tuple[int, ...], agg: str = "sum"
+    cluster: ClusterResult,
+    cards: tuple[int, ...],
+    agg: str = "sum",
+    attempts: int = 1,
+    recovered_seconds: float = 0.0,
+    recovered_bytes: int = 0,
+    recovered_blocks: int = 0,
 ) -> CubeResult:
     rank_views = [result[0] for result in cluster.rank_results]
     reports = cluster.rank_results[0][1]
@@ -474,15 +580,19 @@ def _assemble(
         data.nrows for rv in rank_views for data in rv.values()
     )
     metrics = RunResult(
-        simulated_seconds=cluster.simulated_seconds,
+        simulated_seconds=cluster.simulated_seconds + recovered_seconds,
         host_seconds=cluster.host_seconds,
         output_rows=output_rows,
         view_count=len(rank_views[0]),
-        comm_bytes=cluster.stats.total_bytes,
-        disk_blocks=cluster.total_disk_blocks(),
+        comm_bytes=cluster.stats.total_bytes + recovered_bytes,
+        disk_blocks=cluster.total_disk_blocks() + recovered_blocks,
         phase_seconds=cluster.clock.phase_breakdown(),
         phase_comm_seconds=cluster.clock.phase_comm_breakdown(),
         superstep_log=list(cluster.clock.log),
+        attempts=attempts,
+        recovered_seconds=recovered_seconds,
+        recovered_bytes=recovered_bytes,
+        recovered_blocks=recovered_blocks,
     )
     return CubeResult(
         rank_views=rank_views,

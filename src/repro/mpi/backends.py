@@ -321,8 +321,11 @@ class _ProcessTransport:
         return result
 
 
-def _ship_exception(rank: int, exc: BaseException):
-    """Best-effort picklable form of a worker failure."""
+def _ship_exception(rank: int, exc: BaseException, disk=None):
+    """Best-effort picklable form of a worker failure.
+
+    Carries the rank's disk/work counters so the parent can account the
+    failed attempt's local I/O (recovery folds it into run metrics)."""
     tb = traceback.format_exc()
     try:
         pickle.dumps(exc)
@@ -331,7 +334,19 @@ def _ship_exception(rank: int, exc: BaseException):
             f"rank {rank} failed with unpicklable "
             f"{type(exc).__name__}: {exc}"
         )
-    return (exc, tb)
+    disk_snap = work_snap = None
+    if disk is not None:
+        try:
+            disk_snap = disk.stats.snapshot()
+            work_snap = {
+                "seconds": disk.work.seconds,
+                "rows_sorted": disk.work.rows_sorted,
+                "rows_scanned": disk.work.rows_scanned,
+                "spill_counter": disk._counter,
+            }
+        except Exception:  # pragma: no cover - defensive
+            pass
+    return (exc, tb, disk_snap, work_snap)
 
 
 def _worker_main(
@@ -352,7 +367,9 @@ def _worker_main(
             pass
     disk = cluster.disks[rank]
     clock = cluster.clock  # forked copy: authoritative only for this rank
-    transport = _ProcessTransport(rank, cluster.spec.p, conn, clock, disk)
+    transport = cluster.transport_for(
+        rank, _ProcessTransport(rank, cluster.spec.p, conn, clock, disk)
+    )
     comm = Comm(
         rank, cluster.spec.p, transport, clock, cluster.stats, disk
     )
@@ -382,7 +399,7 @@ def _worker_main(
             shm.unlink_segments(blob.segments)
     except BaseException as exc:  # noqa: BLE001 - ship, don't hang peers
         try:
-            conn.send(("error", _ship_exception(rank, exc)))
+            conn.send(("error", _ship_exception(rank, exc, disk)))
         except Exception:
             pass
     finally:
@@ -413,6 +430,11 @@ class ProcessBackend:
                 "the process backend needs the fork start method "
                 "(unavailable on this platform); use backend='thread'"
             )
+        # A SIGKILL'd worker from an earlier run leaks its in-flight
+        # segments (it never reaches its unlink and the coordinator may
+        # never have learnt the names).  Segment names embed their creator
+        # pid, so stale ones are identifiable and safe to reclaim here.
+        shm.sweep_orphans()
         ctx = multiprocessing.get_context("fork")
         p = cluster.spec.p
         pipes = [ctx.Pipe(duplex=True) for _ in range(p)]
@@ -507,10 +529,20 @@ class _Coordinator:
         for j in range(self.p):
             msg = self._recv(j)
             if msg[0] == "error":
-                exc, _tb = msg[1]
-                raise _Abort(exc)
+                raise _Abort(self._absorb_error(j, msg))
             msgs[j] = msg
         return msgs
+
+    def _absorb_error(self, rank: int, msg) -> BaseException:
+        """Unpack a worker error, adopting its shipped disk/work counters
+        so a failed attempt's local I/O stays visible to recovery."""
+        exc, _tb, disk_snap, work_snap = msg[1]
+        if disk_snap is not None and work_snap is not None:
+            try:
+                self._apply_local_state(rank, disk_snap, work_snap)
+            except Exception:  # pragma: no cover - defensive
+                pass
+        return exc
 
     def _superstep(self, msgs: dict[int, tuple]) -> None:
         """Meter + commit exactly like the thread backend's barrier action,
@@ -540,7 +572,7 @@ class _Coordinator:
         for j in range(self.p):
             msg = self._recv(j)
             if msg[0] == "error" and failure is None:
-                failure = msg[1][0]
+                failure = self._absorb_error(j, msg)
             elif msg[0] != "ack" and failure is None:
                 failure = MPIError(
                     f"rank {j} broke the superstep protocol: {msg[0]!r}"
@@ -604,7 +636,7 @@ class _Coordinator:
                 elif msg[0] == "done":
                     shm.unlink_segments(msg[3].segments)
                 elif msg[0] == "error":
-                    exc, _tb = msg[1]
+                    exc = self._absorb_error(j, msg)
                     if isinstance(origin, RankFailure) and not isinstance(
                         exc, RankFailure
                     ):
@@ -622,6 +654,12 @@ class _Coordinator:
                 conn.close()
             except Exception:  # pragma: no cover - defensive
                 pass
+        # Reap segments of workers that died without unlinking (SIGKILL,
+        # hard crash): every worker is joined by now, so a targeted sweep
+        # of their pids cannot race a live creator.
+        pids = [proc.pid for proc in self.procs if proc.pid is not None]
+        if pids:
+            shm.sweep_orphans(pids=pids)
 
 
 BACKENDS: dict[str, type] = {

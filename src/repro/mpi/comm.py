@@ -153,6 +153,15 @@ class Comm:
     def _zeros(self) -> np.ndarray:
         return np.zeros(self.size, dtype=np.int64)
 
+    def _misuse(self, detail: str) -> CollectiveMisuse:
+        """A :class:`CollectiveMisuse` carrying rank + phase context, so a
+        misuse raised deep inside an SPMD program is attributable without
+        a debugger attached to the failing rank."""
+        phase = self.clock._phase[self.rank]
+        return CollectiveMisuse(
+            f"rank {self.rank} [phase {phase}]: {detail}"
+        )
+
     # -- collectives -------------------------------------------------------
 
     def barrier(self) -> None:
@@ -194,13 +203,19 @@ class Comm:
     def scatter(self, values: Sequence[Any] | None, root: int = 0) -> Any:
         """Distribute ``values[k]`` from ``root`` to rank ``k``."""
         self._check_root(root)
+        # Validate on *every* rank: a wrong-length list on a non-root rank
+        # is a latent bug that would only surface when roles rotate.
+        if values is not None and len(values) != self.size:
+            raise self._misuse(
+                f"scatter needs exactly one value per rank "
+                f"({self.size}), got {len(values)}"
+            )
         row = self._zeros()
         payload = None
         if self.rank == root:
-            if values is None or len(values) != self.size:
-                raise CollectiveMisuse(
-                    "scatter at root needs exactly one value per rank, got "
-                    f"{None if values is None else len(values)}"
+            if values is None:
+                raise self._misuse(
+                    "scatter at root needs a value list, got None"
                 )
             payload = list(values)
             for k, val in enumerate(payload):
@@ -219,7 +234,7 @@ class Comm:
         ``MPI_ALLTOALLV``; lanes may be ``None`` / empty arrays.
         """
         if len(lanes) != self.size:
-            raise CollectiveMisuse(
+            raise self._misuse(
                 f"alltoall needs {self.size} lanes, got {len(lanes)}"
             )
         row = np.fromiter(
@@ -245,7 +260,7 @@ class Comm:
         of masquerading as a list-of-objects allgather.
         """
         if op not in ("sum", "max", "min"):
-            raise CollectiveMisuse(f"unsupported allreduce op: {op!r}")
+            raise self._misuse(f"unsupported allreduce op: {op!r}")
         arr = np.array([float(value)], dtype=np.float64)
         row = self._zeros()
         row[:] = arr.nbytes
@@ -280,7 +295,7 @@ class Comm:
 
     def _check_root(self, root: int) -> None:
         if not 0 <= root < self.size:
-            raise CollectiveMisuse(
+            raise self._misuse(
                 f"root {root} out of range for {self.size} ranks"
             )
 

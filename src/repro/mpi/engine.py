@@ -65,12 +65,22 @@ class ClusterResult:
 
 
 class Cluster:
-    """A reusable virtual cluster: mailboxes, clock, meters, disks."""
+    """A reusable virtual cluster: mailboxes, clock, meters, disks.
+
+    ``faults`` installs a :class:`~repro.mpi.faults.FaultPlan`: every
+    rank's transport is wrapped for deterministic fault injection and
+    CRC-sealed payloads (backend-independent), and disk-full quotas are
+    armed on the targeted ranks.  ``attempt`` is the recovery attempt
+    index the plan's faults are gated on (see
+    :class:`~repro.config.RecoveryPolicy`).
+    """
 
     def __init__(
         self,
         spec: MachineSpec,
         disk_root: str | None = None,
+        faults=None,
+        attempt: int = 0,
     ):
         if not 1 <= spec.p <= MAX_RANKS:
             raise MPIError(
@@ -78,6 +88,8 @@ class Cluster:
                 f"1..{MAX_RANKS}"
             )
         self.spec = spec
+        self.faults = faults
+        self.attempt = attempt
         self.clock = BSPClock(spec)
         self.stats = CommStats()
         self.disks = [
@@ -127,14 +139,30 @@ class Cluster:
 
     # -- running -------------------------------------------------------------
 
+    def transport_for(self, rank: int, inner):
+        """Apply the fault plan (if any) to one rank's transport.
+
+        Shared by both backends: the thread backend wraps its mailbox
+        transport here, the process backend wraps its pipe transport
+        inside each forked worker (the cluster object crosses the fork).
+        """
+        if self.faults is None:
+            return inner
+        return self.faults.instrument(
+            rank, self.attempt, inner, self.clock, self.disks[rank]
+        )
+
     def comm(self, rank: int) -> Comm:
         """Thread-backend communicator endpoint for ``rank`` (also used by
         tests to drive a single endpoint directly)."""
         return Comm(
             rank,
             self.spec.p,
-            ThreadTransport(
-                rank, self.spec.p, self._slots, self._enter, self._leave
+            self.transport_for(
+                rank,
+                ThreadTransport(
+                    rank, self.spec.p, self._slots, self._enter, self._leave
+                ),
             ),
             self.clock,
             self.stats,
@@ -166,6 +194,8 @@ def run_spmd(
     spec: MachineSpec,
     args: Sequence[Any] = (),
     disk_root: str | None = None,
+    faults=None,
+    attempt: int = 0,
 ) -> ClusterResult:
     """Spawn a fresh virtual cluster and run one SPMD program on it.
 
@@ -180,5 +210,12 @@ def run_spmd(
         Extra positional arguments passed to every rank.
     disk_root:
         Directory for real spill files; ``None`` keeps disks in memory.
+    faults:
+        Optional :class:`~repro.mpi.faults.FaultPlan` to inject
+        deterministic failures (crash, corruption, straggler, disk-full).
+    attempt:
+        Recovery attempt index the plan's faults are gated on.
     """
-    return Cluster(spec, disk_root=disk_root).run(rank_program, args)
+    return Cluster(
+        spec, disk_root=disk_root, faults=faults, attempt=attempt
+    ).run(rank_program, args)

@@ -2,7 +2,15 @@
 
 from __future__ import annotations
 
-__all__ = ["MPIError", "RankFailure", "CollectiveMisuse"]
+__all__ = [
+    "MPIError",
+    "RankFailure",
+    "CollectiveMisuse",
+    "InjectedFault",
+    "CorruptPayload",
+    "DiskFull",
+    "CheckpointError",
+]
 
 
 class MPIError(RuntimeError):
@@ -21,3 +29,29 @@ class RankFailure(MPIError):
 class CollectiveMisuse(MPIError):
     """A collective was called with inconsistent arguments across ranks
     (e.g. a scatter list of the wrong length, or mismatched roots)."""
+
+
+class InjectedFault(MPIError):
+    """A deterministic fault fired by a :class:`repro.mpi.faults.FaultPlan`
+    (rank crash or injected disk failure).  Retryable by a
+    :class:`~repro.config.RecoveryPolicy`."""
+
+
+class CorruptPayload(MPIError):
+    """A collective payload failed its CRC check at the receiver.
+
+    Raised by the checksumming transport wrapper (see
+    :mod:`repro.mpi.faults`) on every rank that reads the corrupted slot —
+    the simulation's equivalent of a NIC/driver-level data-integrity
+    failure surfacing through a checksummed wire protocol."""
+
+
+class DiskFull(InjectedFault):
+    """A rank's :class:`~repro.storage.disk.LocalDisk` refused a write
+    because an injected disk-full fault tripped its block quota."""
+
+
+class CheckpointError(MPIError):
+    """A checkpoint manifest or payload failed validation (missing file,
+    CRC mismatch, truncated chain).  Recovery treats the damaged entry as
+    absent and resumes from the last intact iteration instead."""

@@ -1,0 +1,449 @@
+"""Deterministic fault injection for the simulated cluster.
+
+The paper targets Beowulf clusters where losing a node mid-build is the
+expected failure mode.  This module makes that failure mode *injectable*
+and *observable* in the simulation, deterministically and on both
+execution backends:
+
+* :class:`FaultPlan` — a declarative, seedable set of faults:
+
+  - :class:`CrashFault` — the rank raises :class:`InjectedFault` as it
+    enters its k-th collective (a process dying at a superstep boundary);
+  - :class:`CorruptFault` — the rank's payload bytes are flipped *after*
+    its CRC is stamped, so every reader of the slot surfaces
+    :class:`CorruptPayload` (a wire/driver data-integrity failure);
+  - :class:`DelayFault` — the rank charges extra simulated seconds to the
+    superstep (a straggler node; honest BSP accounting, no real sleep);
+  - :class:`DiskFullFault` — the rank's :class:`LocalDisk` refuses writes
+    with :class:`DiskFull` once a block quota trips (a spilled-over local
+    disk).
+
+* :class:`FaultyTransport` — a wrapper around any
+  :class:`~repro.mpi.comm.Transport` (thread mailboxes or the process
+  backend's pipes+shared-memory), so the same plan runs unchanged under
+  both backends.  While a plan is active every payload is *sealed*:
+  pickled, CRC-32 stamped, and verified at each reader — corruption
+  cannot travel silently.
+
+Faults carry an ``attempt`` index (default 0): a fault fires only during
+that recovery attempt, which is what lets
+``build_data_cube(..., recovery=RecoveryPolicy(...))`` demonstrate an
+honest crash-then-recover cycle without any cross-process mutable state.
+
+Sealing costs host CPU (an extra pickle round per payload) but does not
+change the traffic metering: byte rows are computed from the unsealed
+payload before the transport sees it.
+"""
+
+from __future__ import annotations
+
+import pickle
+import re
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.mpi.errors import CorruptPayload, DiskFull, InjectedFault, MPIError
+
+__all__ = [
+    "CrashFault",
+    "CorruptFault",
+    "DelayFault",
+    "DiskFullFault",
+    "FaultPlan",
+    "FaultyTransport",
+]
+
+
+# ---------------------------------------------------------------------------
+# fault descriptions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Rank ``rank`` raises :class:`InjectedFault` entering superstep
+    ``superstep`` (0-based count of that rank's collectives)."""
+
+    rank: int
+    superstep: int
+    attempt: int = 0
+    kind: str = field(default="crash", init=False)
+
+
+@dataclass(frozen=True)
+class CorruptFault:
+    """Rank ``rank``'s payload at superstep ``superstep`` is corrupted on
+    the wire; readers of the slot raise :class:`CorruptPayload`."""
+
+    rank: int
+    superstep: int
+    attempt: int = 0
+    kind: str = field(default="corrupt", init=False)
+
+
+@dataclass(frozen=True)
+class DelayFault:
+    """Rank ``rank`` straggles by ``seconds`` simulated seconds at
+    superstep ``superstep`` (charged to the BSP clock, no real sleep)."""
+
+    rank: int
+    superstep: int
+    seconds: float = 1.0
+    attempt: int = 0
+    kind: str = field(default="delay", init=False)
+
+
+@dataclass(frozen=True)
+class DiskFullFault:
+    """Rank ``rank``'s local disk raises :class:`DiskFull` on the write
+    that would push its cumulative written-block count past ``blocks``.
+    One-shot: the quota disarms after firing (the operator freed space),
+    so a recovery retry can proceed."""
+
+    rank: int
+    blocks: int
+    attempt: int = 0
+    kind: str = field(default="diskfull", init=False)
+
+
+Fault = CrashFault | CorruptFault | DelayFault | DiskFullFault
+
+#: CLI grammar, one entry per fault, ``;``-separated:
+#:   crash@r<rank>s<superstep>[a<attempt>]
+#:   corrupt@r<rank>s<superstep>[a<attempt>]
+#:   delay@r<rank>s<superstep>x<seconds>[a<attempt>]
+#:   diskfull@r<rank>b<blocks>[a<attempt>]
+_SPEC_RE = re.compile(
+    r"^(?P<kind>crash|corrupt|delay|diskfull)@r(?P<rank>\d+)"
+    r"(?:s(?P<step>\d+))?(?:b(?P<blocks>\d+))?"
+    r"(?:x(?P<seconds>[0-9.]+))?(?:a(?P<attempt>\d+))?$"
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic set of faults to inject into one SPMD run.
+
+    The plan is immutable and carries no execution state; per-run state
+    (superstep counters, disk quotas) lives in the wrappers it installs,
+    so the same plan object can drive every attempt of a recovery loop.
+    """
+
+    faults: tuple[Fault, ...] = ()
+    #: Seal every payload with a CRC-32 (needed to *detect* corruption;
+    #: kept on even for plans without corrupt faults so the wire contract
+    #: is uniform whenever fault injection is active).
+    seal_payloads: bool = True
+
+    def __post_init__(self) -> None:
+        for f in self.faults:
+            if f.rank < 0:
+                raise ValueError(f"fault rank must be >= 0: {f}")
+
+    # -- construction -------------------------------------------------------
+
+    @staticmethod
+    def parse(text: str) -> "FaultPlan":
+        """Parse the CLI grammar, e.g. ``"crash@r1s5;delay@r0s2x0.5"``."""
+        faults: list[Fault] = []
+        for raw in re.split(r"[;,]", text):
+            raw = raw.strip()
+            if not raw:
+                continue
+            m = _SPEC_RE.match(raw)
+            if m is None:
+                raise ValueError(
+                    f"bad fault spec {raw!r}; expected e.g. crash@r1s5, "
+                    "corrupt@r2s3, delay@r0s2x0.5, diskfull@r1b40 "
+                    "(optional a<attempt> suffix)"
+                )
+            kind = m.group("kind")
+            rank = int(m.group("rank"))
+            attempt = int(m.group("attempt") or 0)
+            if kind == "diskfull":
+                if m.group("blocks") is None:
+                    raise ValueError(f"{raw!r}: diskfull needs b<blocks>")
+                faults.append(
+                    DiskFullFault(rank, int(m.group("blocks")), attempt)
+                )
+                continue
+            if m.group("step") is None:
+                raise ValueError(f"{raw!r}: {kind} needs s<superstep>")
+            step = int(m.group("step"))
+            if kind == "crash":
+                faults.append(CrashFault(rank, step, attempt))
+            elif kind == "corrupt":
+                faults.append(CorruptFault(rank, step, attempt))
+            else:
+                faults.append(
+                    DelayFault(
+                        rank, step, float(m.group("seconds") or 1.0), attempt
+                    )
+                )
+        if not faults:
+            raise ValueError(f"empty fault spec: {text!r}")
+        return FaultPlan(tuple(faults))
+
+    @staticmethod
+    def random(
+        seed: int,
+        p: int,
+        n_faults: int = 2,
+        max_superstep: int = 20,
+        kinds: Sequence[str] = ("crash", "corrupt", "delay", "diskfull"),
+        attempts: int = 1,
+    ) -> "FaultPlan":
+        """A seeded random plan (the chaos-matrix generator)."""
+        rng = np.random.default_rng(seed)
+        faults: list[Fault] = []
+        for _ in range(n_faults):
+            kind = kinds[int(rng.integers(len(kinds)))]
+            rank = int(rng.integers(p))
+            attempt = int(rng.integers(attempts))
+            if kind == "crash":
+                faults.append(
+                    CrashFault(rank, int(rng.integers(max_superstep)), attempt)
+                )
+            elif kind == "corrupt":
+                faults.append(
+                    CorruptFault(
+                        rank, int(rng.integers(max_superstep)), attempt
+                    )
+                )
+            elif kind == "delay":
+                faults.append(
+                    DelayFault(
+                        rank,
+                        int(rng.integers(max_superstep)),
+                        float(rng.uniform(0.1, 2.0)),
+                        attempt,
+                    )
+                )
+            else:
+                faults.append(
+                    DiskFullFault(
+                        rank, int(rng.integers(1, 200)), attempt
+                    )
+                )
+        return FaultPlan(tuple(faults))
+
+    # -- queries ------------------------------------------------------------
+
+    def for_rank(self, rank: int, attempt: int) -> list[Fault]:
+        return [
+            f
+            for f in self.faults
+            if f.rank == rank and f.attempt == attempt
+        ]
+
+    def describe(self) -> str:
+        return "; ".join(
+            f"{f.kind}@r{f.rank}"
+            + (f"s{f.superstep}" if hasattr(f, "superstep") else "")
+            + (f"b{f.blocks}" if isinstance(f, DiskFullFault) else "")
+            + (
+                f"x{f.seconds:g}"
+                if isinstance(f, DelayFault)
+                else ""
+            )
+            + (f"a{f.attempt}" if f.attempt else "")
+            for f in self.faults
+        )
+
+    # -- installation (called by the engine / worker main) -------------------
+
+    def instrument(
+        self, rank: int, attempt: int, transport, clock, disk
+    ):
+        """Wrap ``transport`` and arm ``disk`` for one rank execution.
+
+        Returns the transport the rank's :class:`~repro.mpi.comm.Comm`
+        should use.  Every rank is wrapped whenever a plan is active —
+        the sealed wire format must be uniform across ranks — while
+        the per-rank fault schedule only carries this rank's faults.
+        """
+        mine = self.for_rank(rank, attempt)
+        quota = min(
+            (f.blocks for f in mine if isinstance(f, DiskFullFault)),
+            default=None,
+        )
+        if quota is not None:
+            _arm_disk_quota(disk, rank, quota)
+        else:
+            disk.write_guard = None
+        return FaultyTransport(
+            rank,
+            transport,
+            clock,
+            crash_at={
+                f.superstep for f in mine if isinstance(f, CrashFault)
+            },
+            corrupt_at={
+                f.superstep for f in mine if isinstance(f, CorruptFault)
+            },
+            delay_at={
+                f.superstep: f.seconds
+                for f in mine
+                if isinstance(f, DelayFault)
+            },
+            seal=self.seal_payloads,
+        )
+
+
+def _arm_disk_quota(disk, rank: int, blocks: int) -> None:
+    """Install a one-shot write quota on a rank's local disk."""
+
+    def guard(pending_blocks: int) -> None:
+        if disk.stats.blocks_written + pending_blocks > blocks:
+            disk.write_guard = None  # one-shot: disarm before raising
+            raise DiskFull(
+                f"rank {rank}: injected disk-full after "
+                f"{disk.stats.blocks_written} blocks "
+                f"(quota {blocks}, write of {pending_blocks} refused)"
+            )
+
+    disk.write_guard = guard
+
+
+# ---------------------------------------------------------------------------
+# sealed (checksummed) payloads
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Sealed:
+    """A payload pickled + CRC-stamped by the sending rank."""
+
+    data: bytes
+    crc: int
+    source: int
+
+    @property
+    def nbytes(self) -> int:  # keeps payload_nbytes sane if ever metered
+        return len(self.data)
+
+
+def _seal(payload: Any, source: int) -> _Sealed:
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return _Sealed(data, zlib.crc32(data), source)
+
+
+def _unseal(sealed: Any, reader_rank: int) -> Any:
+    if sealed is None:
+        return None
+    if not isinstance(sealed, _Sealed):
+        raise MPIError(
+            f"rank {reader_rank}: expected a sealed payload, got "
+            f"{type(sealed).__name__} (mixed fault-injection wiring?)"
+        )
+    if zlib.crc32(sealed.data) != sealed.crc:
+        raise CorruptPayload(
+            f"rank {reader_rank}: payload from rank {sealed.source} "
+            f"failed its CRC check (stamped {sealed.crc:#010x})"
+        )
+    return pickle.loads(sealed.data)
+
+
+class _UnsealingSlots:
+    """Lazy slot table: verify + unpickle a slot only when it is read."""
+
+    def __init__(self, slots: Sequence[Any], reader_rank: int):
+        self._slots = slots
+        self._rank = reader_rank
+        self._cache: dict[int, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __getitem__(self, idx: int):
+        if idx not in self._cache:
+            self._cache[idx] = _unseal(self._slots[idx], self._rank)
+        return self._cache[idx]
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self[i]
+
+
+def _flip_byte(sealed: _Sealed) -> _Sealed:
+    """Corrupt one byte of the sealed stream, keeping the stale CRC."""
+    data = bytearray(sealed.data)
+    if not data:  # pragma: no cover - pickle streams are never empty
+        data = bytearray(b"\0")
+    pos = len(data) // 2
+    data[pos] ^= 0xFF
+    return _Sealed(bytes(data), sealed.crc, sealed.source)
+
+
+# ---------------------------------------------------------------------------
+# the transport wrapper
+# ---------------------------------------------------------------------------
+
+
+class FaultyTransport:
+    """Transport decorator realising a rank's fault schedule.
+
+    Counts this rank's collectives (the superstep index faults refer to),
+    fires crash/delay faults before the underlying exchange, and runs the
+    seal/verify wire protocol around it.  Wraps both
+    :class:`~repro.mpi.comm.ThreadTransport` and the process backend's
+    pipe transport — fault semantics are backend-independent.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        inner,
+        clock,
+        crash_at: set[int] | None = None,
+        corrupt_at: set[int] | None = None,
+        delay_at: dict[int, float] | None = None,
+        seal: bool = True,
+    ):
+        self.rank = rank
+        self.inner = inner
+        self.clock = clock
+        self.crash_at = crash_at or set()
+        self.corrupt_at = corrupt_at or set()
+        self.delay_at = delay_at or {}
+        self.seal = seal
+        self.superstep = 0
+
+    def exchange(
+        self,
+        kind: str,
+        payload: Any,
+        send_row: np.ndarray,
+        reader: Callable[[Sequence[Any]], Any],
+    ) -> Any:
+        step = self.superstep
+        self.superstep += 1
+        if step in self.crash_at:
+            raise InjectedFault(
+                f"rank {self.rank}: injected crash at superstep {step} "
+                f"({kind})"
+            )
+        delay = self.delay_at.get(step)
+        if delay is not None:
+            # Straggle: charge extra simulated seconds to this rank's
+            # pending segment (and its phase accrual, so attribution
+            # stays consistent) before the superstep commit reads them.
+            self.clock._pending_segment[self.rank] += delay
+            self.clock._phase_accrual[self.rank][
+                self.clock._phase[self.rank]
+            ] += delay
+        if not self.seal:
+            return self.inner.exchange(kind, payload, send_row, reader)
+        sealed = _seal(payload, self.rank)
+        if step in self.corrupt_at:
+            sealed = _flip_byte(sealed)
+        rank = self.rank
+        return self.inner.exchange(
+            kind,
+            sealed,
+            send_row,
+            lambda slots: reader(_UnsealingSlots(slots, rank)),
+        )

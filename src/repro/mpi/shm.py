@@ -29,10 +29,12 @@ pays.
 from __future__ import annotations
 
 import io
+import os
 import pickle
+import re
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Any
+from typing import Any, Iterable
 
 import numpy as np
 
@@ -41,6 +43,7 @@ __all__ = [
     "ShmBlob",
     "decode",
     "encode",
+    "sweep_orphans",
     "unlink_segments",
 ]
 
@@ -53,6 +56,78 @@ SHM_MIN_BYTES = 1 << 12
 _SHM_DTYPE_KINDS = "biufc"
 
 _PID_TAG = "repro-shm-ndarray"
+
+#: Segment naming scheme: ``rp<creator-pid>x<random-hex>``.  Embedding the
+#: creator's pid makes leaked segments attributable: a worker SIGKILL'd
+#: mid-collective cannot unlink its own segments, but anyone can later tell
+#: that their creator is dead and sweep them (:func:`sweep_orphans`).  The
+#: name stays well under the 31-character POSIX minimum for shm names.
+_SEGMENT_RE = re.compile(r"^rp(\d+)x[0-9a-f]{8}$")
+
+#: Where Linux exposes POSIX shared memory as files.  On platforms without
+#: an enumerable shm filesystem the sweep degrades to a targeted-pids no-op.
+_SHM_DIR = "/dev/shm"
+
+
+def _create_segment(size: int) -> shared_memory.SharedMemory:
+    """Create a session-attributable segment (name carries our pid)."""
+    for _ in range(32):
+        name = f"rp{os.getpid()}x{os.urandom(4).hex()}"
+        try:
+            return shared_memory.SharedMemory(
+                name=name, create=True, size=size
+            )
+        except FileExistsError:  # pragma: no cover - 1-in-2^32 collision
+            continue
+    raise RuntimeError("could not allocate a unique shm segment name")
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - foreign live process
+        return True
+    return True
+
+
+def sweep_orphans(pids: Iterable[int] | None = None) -> list[str]:
+    """Unlink leaked segments whose creator process is dead.
+
+    A SIGKILL'd worker leaves its in-flight segments behind — it never
+    reaches its ``finally: unlink`` and the coordinator may never learn
+    the segment names.  This sweep walks the shm filesystem for names
+    matching our ``rp<pid>x...`` scheme and unlinks every segment whose
+    creator pid no longer exists.  With ``pids`` given, only segments
+    created by those (known-dead) processes are touched — the targeted
+    form the coordinator uses after reaping workers.  Returns the swept
+    segment names.  Idempotent and safe to race: concurrent live sessions
+    are identified by their live creator pids and left alone.
+    """
+    if not os.path.isdir(_SHM_DIR):  # pragma: no cover - non-Linux host
+        return []
+    targets = None if pids is None else {int(pid) for pid in pids}
+    swept: list[str] = []
+    try:
+        names = os.listdir(_SHM_DIR)
+    except OSError:  # pragma: no cover - defensive
+        return []
+    for name in names:
+        match = _SEGMENT_RE.match(name)
+        if match is None:
+            continue
+        pid = int(match.group(1))
+        if targets is not None and pid not in targets:
+            continue
+        if _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(_SHM_DIR, name))
+            swept.append(name)
+        except OSError:  # pragma: no cover - raced cleanup
+            pass
+    return swept
 
 
 @dataclass(frozen=True)
@@ -94,7 +169,7 @@ class _ShmPickler(pickle.Pickler):
         if pid is not None:
             return pid
         arr = np.ascontiguousarray(obj)
-        seg = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+        seg = _create_segment(arr.nbytes)
         try:
             dst = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
             dst[...] = arr

@@ -148,6 +148,11 @@ class LocalDisk:
         #: Modelled-CPU meter of the owning processor (the disk object
         #: doubles as the per-rank local-resources handle).
         self.work = work if work is not None else WorkMeter()
+        #: Optional write admission hook ``guard(pending_blocks)``; may
+        #: raise to refuse the write (fault injection's disk-full quota —
+        #: see :mod:`repro.mpi.faults`).  Consulted before any block-write
+        #: accounting, so a refused write charges nothing.
+        self.write_guard = None
         self._mem: dict[str, bytes] = {}
         self._counter = 0
         self._lock = threading.Lock()
@@ -164,8 +169,14 @@ class LocalDisk:
 
     # -- spill / load --------------------------------------------------------
 
+    def _admit_write(self, rows: int) -> None:
+        """Run the write guard (if armed) before charging a write."""
+        if self.write_guard is not None:
+            self.write_guard(_blocks(rows, self.block_size))
+
     def spill(self, rel: Relation, hint: str = "run") -> str:
         """Write a relation to this disk; returns an opaque file token."""
+        self._admit_write(rel.nrows)
         name = self._fresh_name(hint)
         buf = io.BytesIO()
         np.savez(buf, dims=rel.dims, measure=rel.measure)
@@ -231,4 +242,5 @@ class LocalDisk:
 
     def charge_store(self, rows: int) -> None:
         """Charge writing ``rows`` rows (e.g. final view materialisation)."""
+        self._admit_write(rows)
         self.stats.charge_write(rows, self.block_size)

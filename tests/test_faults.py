@@ -1,0 +1,326 @@
+"""Fault-injection harness tests (PR: robustness tentpole).
+
+Covers the :mod:`repro.mpi.faults` plan grammar, the
+:class:`FaultyTransport` semantics of every fault kind on both execution
+backends, the sealed-payload wire contract (CRC surfacing corruption,
+metering unchanged), every-rank collective validation, and the orphaned
+shared-memory segment sweeper — including a worker SIGKILL'd while its
+peers sit inside a collective.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.config import MachineSpec
+from repro.mpi import shm
+from repro.mpi.engine import run_spmd
+from repro.mpi.errors import (
+    CollectiveMisuse,
+    CorruptPayload,
+    DiskFull,
+    InjectedFault,
+    MPIError,
+)
+from repro.mpi.faults import (
+    CorruptFault,
+    CrashFault,
+    DelayFault,
+    DiskFullFault,
+    FaultPlan,
+)
+
+requires_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process backend needs the fork start method",
+)
+
+BACKENDS = ["thread", pytest.param("process", marks=requires_fork)]
+
+
+def det_spec(p, backend, **kw):
+    return MachineSpec(p=p, backend=backend, compute_scale=0.0, **kw)
+
+
+class TestFaultPlanGrammar:
+    def test_parse_all_kinds(self):
+        plan = FaultPlan.parse(
+            "crash@r1s5; corrupt@r2s3, delay@r0s2x0.5; diskfull@r1b40"
+        )
+        assert plan.faults == (
+            CrashFault(1, 5),
+            CorruptFault(2, 3),
+            DelayFault(0, 2, 0.5),
+            DiskFullFault(1, 40),
+        )
+
+    def test_parse_attempt_suffix(self):
+        plan = FaultPlan.parse("crash@r0s1a2")
+        assert plan.faults == (CrashFault(0, 1, attempt=2),)
+        assert plan.for_rank(0, 2) == [CrashFault(0, 1, 2)]
+        assert plan.for_rank(0, 0) == []
+
+    def test_describe_roundtrips(self):
+        text = "crash@r1s5; delay@r0s2x0.5; diskfull@r3b7a1"
+        plan = FaultPlan.parse(text)
+        assert FaultPlan.parse(plan.describe()) == plan
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "explode@r0s1", "crash@r0", "diskfull@r0s3", "crash@r0s1z9"],
+    )
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(bad)
+
+    def test_random_is_seed_deterministic(self):
+        a = FaultPlan.random(seed=42, p=8)
+        b = FaultPlan.random(seed=42, p=8)
+        c = FaultPlan.random(seed=43, p=8)
+        assert a == b
+        assert a != c
+        assert all(f.rank < 8 for f in a.faults)
+
+
+class TestFaultyTransport:
+    """Fault semantics must be identical across backends."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_crash_raises_injected_fault(self, backend):
+        def prog(c):
+            c.barrier()
+            c.allgather(c.rank)
+            return c.rank
+
+        with pytest.raises(InjectedFault, match="rank 1.*superstep 1"):
+            run_spmd(
+                prog,
+                det_spec(3, backend),
+                faults=FaultPlan.parse("crash@r1s1"),
+            )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_corrupt_surfaces_crc_failure(self, backend):
+        def prog(c):
+            return c.allgather(np.arange(64, dtype=np.int64) + c.rank)
+
+        with pytest.raises(CorruptPayload, match="from rank 1.*CRC"):
+            run_spmd(
+                prog,
+                det_spec(3, backend),
+                faults=FaultPlan.parse("corrupt@r1s0"),
+            )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_delay_charges_exact_simulated_seconds(self, backend):
+        def prog(c):
+            c.barrier()
+            c.barrier()
+
+        base = run_spmd(prog, det_spec(2, backend))
+        slow = run_spmd(
+            prog,
+            det_spec(2, backend),
+            faults=FaultPlan.parse("delay@r1s1x0.75"),
+        )
+        assert slow.clock.sim_time == pytest.approx(
+            base.clock.sim_time + 0.75
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_diskfull_trips_on_quota(self, backend):
+        def prog(c):
+            c.barrier()
+            c.disk.charge_store(100_000)
+            c.barrier()
+
+        with pytest.raises(DiskFull, match="rank 1.*quota 3"):
+            run_spmd(
+                prog,
+                det_spec(2, backend),
+                faults=FaultPlan.parse("diskfull@r1b3"),
+            )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_attempt_gating(self, backend):
+        """A fault bound to attempt 1 must not fire on attempt 0."""
+
+        def prog(c):
+            c.barrier()
+            return c.rank
+
+        plan = FaultPlan.parse("crash@r0s0a1")
+        ok = run_spmd(prog, det_spec(2, backend), faults=plan, attempt=0)
+        assert ok.rank_results == [0, 1]
+        with pytest.raises(InjectedFault):
+            run_spmd(prog, det_spec(2, backend), faults=plan, attempt=1)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_sealing_does_not_change_metering(self, backend):
+        """CRC sealing is a wire-format detail: byte rows come from the
+        unsealed payloads, so comm_bytes must match the plain run."""
+
+        def prog(c):
+            c.allgather(np.arange(500, dtype=np.int64))
+            c.alltoall([np.arange(40, dtype=np.float64)] * c.size)
+            c.allreduce(float(c.rank))
+
+        plain = run_spmd(prog, det_spec(3, backend))
+        sealed = run_spmd(prog, det_spec(3, backend), faults=FaultPlan())
+        assert sealed.stats.total_bytes == plain.stats.total_bytes
+        assert sealed.stats.bytes_by_kind == plain.stats.bytes_by_kind
+        assert sealed.clock.sim_time == pytest.approx(plain.clock.sim_time)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_sealed_collectives_return_same_values(self, backend):
+        def prog(c):
+            got = c.allgather(np.full(8, c.rank, dtype=np.int64))
+            split = c.scatter(
+                [f"to-{k}" for k in range(c.size)] if c.rank == 0 else None
+            )
+            return ([int(g[0]) for g in got], split)
+
+        plain = run_spmd(prog, det_spec(3, backend))
+        sealed = run_spmd(prog, det_spec(3, backend), faults=FaultPlan())
+        assert plain.rank_results == sealed.rank_results
+
+
+class TestCollectiveValidation:
+    """Satellite: misuse diagnostics carry rank + phase, and length
+    checks run on *every* rank, not just the root."""
+
+    def test_scatter_wrong_length_nonroot(self):
+        def prog(c):
+            c.set_phase("shuffle")
+            # Rank 1 passes a wrong-length list even though it is not
+            # the root — must be rejected locally, before the exchange.
+            values = [0] * (c.size + 1) if c.rank == 1 else None
+            if c.rank == 0:
+                values = [0] * c.size
+            return c.scatter(values, root=0)
+
+        with pytest.raises(
+            CollectiveMisuse, match=r"rank 1 \[phase shuffle\].*scatter"
+        ):
+            run_spmd(prog, det_spec(3, "thread"))
+
+    def test_scatter_root_none(self):
+        def prog(c):
+            return c.scatter(None, root=0)
+
+        with pytest.raises(CollectiveMisuse, match=r"rank 0 \[phase"):
+            run_spmd(prog, det_spec(2, "thread"))
+
+    def test_alltoall_wrong_lane_count(self):
+        def prog(c):
+            c.set_phase("partition")
+            lanes = [None] * (c.size - 1) if c.rank == 2 else [None] * c.size
+            return c.alltoall(lanes)
+
+        with pytest.raises(
+            CollectiveMisuse, match=r"rank 2 \[phase partition\].*lanes"
+        ):
+            run_spmd(prog, det_spec(3, "thread"))
+
+    def test_allreduce_bad_op(self):
+        def prog(c):
+            return c.allreduce(1.0, op="median")
+
+        with pytest.raises(CollectiveMisuse, match=r"rank \d \[phase"):
+            run_spmd(prog, det_spec(2, "thread"))
+
+
+class TestOrphanSweep:
+    """Satellite: stale segments from dead creators are reclaimed."""
+
+    def test_dead_pid_segment_swept_live_kept(self, tmp_path):
+        ctx = multiprocessing.get_context("fork")
+        proc = ctx.Process(target=lambda: None)
+        proc.start()
+        proc.join()
+        dead_pid = proc.pid
+        dead_name = f"rp{dead_pid}x{'0a' * 4}"
+        live_name = f"rp{os.getpid()}x{'0b' * 4}"
+        for name in (dead_name, live_name):
+            with open(os.path.join("/dev/shm", name), "wb") as fh:
+                fh.write(b"\0" * 16)
+        try:
+            swept = shm.sweep_orphans()
+            assert dead_name in swept
+            assert not os.path.exists(os.path.join("/dev/shm", dead_name))
+            assert os.path.exists(os.path.join("/dev/shm", live_name))
+        finally:
+            for name in (dead_name, live_name):
+                try:
+                    os.unlink(os.path.join("/dev/shm", name))
+                except FileNotFoundError:
+                    pass
+
+    def test_targeted_sweep_ignores_other_dead_pids(self):
+        ctx = multiprocessing.get_context("fork")
+        procs = [ctx.Process(target=lambda: None) for _ in range(2)]
+        for proc in procs:
+            proc.start()
+            proc.join()
+        names = [f"rp{proc.pid}x{'0c' * 4}" for proc in procs]
+        for name in names:
+            with open(os.path.join("/dev/shm", name), "wb") as fh:
+                fh.write(b"\0" * 16)
+        try:
+            swept = shm.sweep_orphans(pids=[procs[0].pid])
+            assert names[0] in swept
+            assert os.path.exists(os.path.join("/dev/shm", names[1]))
+        finally:
+            for name in names:
+                try:
+                    os.unlink(os.path.join("/dev/shm", name))
+                except FileNotFoundError:
+                    pass
+
+    def test_segment_names_carry_creator_pid(self):
+        seg = shm._create_segment(64)
+        try:
+            m = shm._SEGMENT_RE.match(seg.name)
+            assert m is not None
+            assert int(m.group(1)) == os.getpid()
+        finally:
+            seg.close()
+            seg.unlink()
+
+
+def _sigkill_prog(c, path):
+    big = np.arange(shm.SHM_MIN_BYTES // 8 + 7, dtype=np.int64)
+    c.allgather(big)
+    if c.rank == 1:
+        # Leave an in-flight segment behind, then die without cleanup —
+        # exactly what a SIGKILL mid-collective does to a real worker.
+        seg = shm._create_segment(4096)
+        with open(path, "w") as fh:
+            fh.write(f"{os.getpid()} {seg.name}")
+        os.kill(os.getpid(), signal.SIGKILL)
+    c.allgather(big)  # peers block here; rank 1 never arrives
+    return c.rank
+
+
+@requires_fork
+class TestSigkillMidCollective:
+    """Satellite: a SIGKILL'd worker must not wedge its peers or leak
+    its shared-memory segments, and the failure must name the rank."""
+
+    def test_peers_unblock_segments_swept(self, tmp_path):
+        path = str(tmp_path / "victim")
+        with pytest.raises(MPIError, match="rank 1 worker process died"):
+            run_spmd(_sigkill_prog, det_spec(3, "process"), args=(path,))
+        pid_text, seg = open(path).read().split()
+        assert not os.path.exists(os.path.join("/dev/shm", seg))
+        leftovers = [
+            name
+            for name in os.listdir("/dev/shm")
+            if name.startswith(f"rp{pid_text}x")
+        ]
+        assert leftovers == []
