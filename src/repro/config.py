@@ -79,6 +79,19 @@ class MachineSpec:
     #: two IDE drives).  D disks move D blocks per I/O step, so the
     #: per-block cost divides by D.
     disks_per_node: int = 1
+    #: Process-backend data plane: pool shared-memory segments in a
+    #: per-worker arena and reuse them across supersteps (see
+    #: :mod:`repro.mpi.shm`).  ``False`` falls back to the
+    #: create/unlink-per-payload plane — kept as the benchmark baseline.
+    #: Ignored by the thread backend, which never copies payloads at all.
+    shm_pool: bool = True
+    #: Process-backend data plane: decode received arrays as read-only
+    #: views aliasing the shared segment instead of private copies.  Rank
+    #: code mutating a received array must go through
+    #: :func:`repro.mpi.shm.materialize` — the same read-only contract
+    #: the thread backend has always imposed.  ``False`` restores
+    #: copy-on-decode.  Ignored by the thread backend.
+    shm_zero_copy: bool = True
     #: Multiplier from measured Python CPU seconds to simulated seconds.
     #: Host CPU is a *minor* term of the model (see the work-charge
     #: constants below, which carry the deterministic per-row costs);
@@ -277,6 +290,11 @@ class RunResult:
     #: Disk block transfers of failed attempts — included in
     #: :attr:`disk_blocks`.
     recovered_blocks: int = 0
+    #: Shared-memory data-plane counters of the process backend (segment
+    #: leases, pool hit rate, bytes reused — see
+    #: :meth:`repro.mpi.shm.DataPlane.stats`), aggregated over all worker
+    #: ranks and attempts.  Empty for the thread backend.
+    shm_pool: dict = field(default_factory=dict)
 
     def summary(self) -> str:
         """One-line human-readable summary."""

@@ -593,6 +593,7 @@ def _assemble(
         recovered_seconds=recovered_seconds,
         recovered_bytes=recovered_bytes,
         recovered_blocks=recovered_blocks,
+        shm_pool=dict(cluster.shm_pool),
     )
     return CubeResult(
         rank_views=rank_views,

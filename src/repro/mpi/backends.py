@@ -17,31 +17,46 @@ real failure while breaking every peer with
 
 ``process``
     ``p`` forked worker processes coordinated by the parent.  Collectives
-    run over :mod:`repro.mpi.shm`: large numeric arrays cross through
-    POSIX shared memory (one memcpy in, one out), everything else rides a
-    small pickle blob on the worker's pipe.  The parent replays the exact
-    superstep commit of the thread backend from per-rank metering shipped
-    with each collective, so ``simulated_seconds`` / ``comm_bytes`` /
-    ``disk_blocks`` are identical between backends whenever the clock's
-    measured-CPU term is disabled (``compute_scale=0``) — and statistically
-    equal otherwise.  ``host_seconds`` now scales with real cores.
+    run over the :mod:`repro.mpi.shm` data plane: large numeric arrays
+    cross through pooled POSIX shared-memory segments, everything else
+    rides a small pickle blob on the worker's pipe.  The parent replays
+    the exact superstep commit of the thread backend from per-rank
+    metering shipped with each collective, so ``simulated_seconds`` /
+    ``comm_bytes`` / ``disk_blocks`` are identical between backends
+    whenever the clock's measured-CPU term is disabled
+    (``compute_scale=0``) — and statistically equal otherwise.
+    ``host_seconds`` now scales with real cores.
 
 Superstep wire protocol (process backend), one round per collective::
 
     worker j -> parent : ("step", kind, send_row, segment_j, phase_j,
-                          accrual_0 if j == 0, encoded_payload)
+                          accrual_0 if j == 0, encoded_payload, held_j)
     parent             : meters + commits exactly like the barrier action
-    parent -> worker j : ("deliver", [encoded payloads by source rank])
-    worker j -> parent : ("ack",)          # after reading its slots
-    parent -> worker j : ("resume",)       # slots reusable; creator
-    worker j           : unlinks its own shared-memory segments
+    parent -> worker j : ("deliver", [encoded payloads by source rank],
+                          recycle_j)
 
-The ack/resume round is the leave-barrier of the thread backend: it keeps
-a sender's segments alive until every reader has copied out.  On any
-failure the parent broadcasts ``("abort",)``, drains the pipes to free
-orphaned segments, and re-raises the originating exception; peers blocked
-in a collective observe :class:`RankFailure`, exactly like a broken
-barrier.
+``held_j`` lists the foreign segments rank ``j`` still aliases through
+live zero-copy views; ``recycle_j`` hands rank ``j`` back its *own*
+segments once every rank has stopped aliasing them — the release round of
+the pooled plane.  Sending ``step`` N+1 doubles as rank ``j``'s release
+notification for superstep N: its reader has returned by then, so any
+superstep-N segment absent from ``held_j`` can never be touched by rank
+``j`` again.  The parent tracks each in-flight segment in a ledger and
+recycles it to its creator only after all ``p`` ranks have released it —
+the owner never overwrites bytes a consumer can still observe.
+
+With pooling disabled (``MachineSpec.shm_pool=False``) the protocol
+degrades to the legacy four-message round — ``deliver`` is followed by an
+``("ack",)`` / ``("resume",)`` leave barrier and the creator unlinks its
+segments immediately after — kept as the benchmark baseline.  Unlinking
+under live consumer views is safe either way: POSIX keeps the backing
+memory until the last mapping closes; only *reuse* needs the ledger.
+
+On any failure the parent broadcasts ``("abort",)`` and drains the pipes;
+a worker that errors waits for that abort before tearing down its data
+plane, so its segments outlive every peer still inside a reader.  Peers
+blocked in a collective observe :class:`RankFailure`, exactly like a
+broken barrier.
 """
 
 from __future__ import annotations
@@ -153,16 +168,20 @@ class ThreadBackend:
 # ---------------------------------------------------------------------------
 
 
+_MISSING = object()
+
+
 class _LazyLanes:
     """Per-source lane list of a scatter/alltoall slot, decoded on access.
 
-    Keeps the h-relation O(own traffic): a rank only pays the copy-out for
+    Keeps the h-relation O(own traffic): a rank only pays the decode for
     lanes actually addressed to it, even though every rank receives the
     full descriptor table.
     """
 
-    def __init__(self, blobs: list):
+    def __init__(self, blobs: list, decode: Callable[[Any], Any]):
         self._blobs = blobs
+        self._decode = decode
         self._cache: list = [_MISSING] * len(blobs)
 
     def __len__(self) -> int:
@@ -172,7 +191,7 @@ class _LazyLanes:
         val = self._cache[idx]
         if val is _MISSING:
             blob = self._blobs[idx]
-            val = None if blob is None else shm.decode(blob)
+            val = None if blob is None else self._decode(blob)
             self._cache[idx] = val
         return val
 
@@ -181,14 +200,12 @@ class _LazyLanes:
             yield self[i]
 
 
-_MISSING = object()
-
-
 class _LazySlots:
     """The per-rank payload table a collective's reader indexes into."""
 
-    def __init__(self, entries: list):
+    def __init__(self, entries: list, decode: Callable[[Any], Any]):
         self._entries = entries
+        self._decode = decode
         self._cache: list = [_MISSING] * len(entries)
 
     def __len__(self) -> int:
@@ -197,7 +214,9 @@ class _LazySlots:
     def __getitem__(self, idx: int):
         val = self._cache[idx]
         if val is _MISSING:
-            val = self._cache[idx] = _decode_entry(self._entries[idx])
+            val = self._cache[idx] = _decode_entry(
+                self._entries[idx], self._decode
+            )
         return val
 
     def __iter__(self):
@@ -205,50 +224,82 @@ class _LazySlots:
             yield self[i]
 
 
-def _encode_payload(kind: str, payload: Any):
+def _encode_payload(kind: str, payload: Any, plane: shm.DataPlane):
     """Encode one rank's payload for the wire.
 
-    Scatter/alltoall payloads are lane lists; encoding each lane as its
-    own blob lets receivers decode only the lanes addressed to them.
+    Scatter/alltoall payloads are lane lists: each lane is its own blob
+    (receivers decode only the lanes addressed to them) but all lanes of
+    the collective share one arena segment (`encode_lanes`).
     """
     if payload is None:
         return None
     if kind in ("scatter", "alltoall") and isinstance(payload, list):
-        return (
-            "lanes",
-            [None if lane is None else shm.encode(lane) for lane in payload],
-        )
-    return ("obj", shm.encode(payload))
+        return ("lanes", plane.encode_lanes(payload))
+    return ("obj", plane.encode(payload))
 
 
-def _decode_entry(entry):
+def _decode_entry(entry, decode: Callable[[Any], Any]):
     if entry is None:
         return None
     tag, body = entry
     if tag == "obj":
-        return shm.decode(body)
-    return _LazyLanes(body)
+        return decode(body)
+    return _LazyLanes(body, decode)
+
+
+def _prune_entries(kind: str, entries: list, dest: int) -> list:
+    """Strip a deliver table down to what rank ``dest`` can actually read.
+
+    :class:`~repro.mpi.comm.Comm` fixes the access pattern per collective:
+    scatter/alltoall readers index only lane ``[dest]`` of each source's
+    lane list.  Pruning the other lanes keeps the
+    per-rank deliver pickle O(own traffic) instead of O(p^2) — the bytes
+    never cross the pipe at all.  Sealed payloads (fault injection) ride
+    the ``"obj"`` path and pass through untouched, and metering happened
+    before encoding, so neither is affected.  Pooled plane only: the
+    unpooled baseline broadcasts one shared table, like the legacy plane.
+    """
+    if kind not in ("scatter", "alltoall"):
+        return entries
+    pruned = []
+    for entry in entries:
+        if entry is None or entry[0] != "lanes":
+            pruned.append(entry)
+            continue
+        blobs = entry[1]
+        lane = [None] * len(blobs)
+        lane[dest] = blobs[dest]
+        pruned.append(("lanes", lane))
+    return pruned
 
 
 def _encoded_segments(entry) -> list[str]:
-    """All shared-memory segment names referenced by one encoded payload."""
+    """Deduped shared-memory segment names of one encoded payload."""
     if entry is None:
         return []
     tag, body = entry
     if tag == "obj":
-        return list(body.segments)
-    return [name for blob in body if blob is not None for name in blob.segments]
+        names = body.segments
+    else:
+        names = tuple(
+            name
+            for blob in body
+            if blob is not None
+            for name in blob.segments
+        )
+    return list(dict.fromkeys(names))
 
 
 class _ProcessTransport:
     """Pipe+shared-memory transport of one worker process."""
 
-    def __init__(self, rank: int, size: int, conn, clock, disk):
+    def __init__(self, rank: int, size: int, conn, clock, disk, plane):
         self.rank = rank
         self.size = size
         self._conn = conn
         self._clock = clock
         self._disk = disk
+        self._plane = plane
 
     def _send(self, msg) -> None:
         try:
@@ -277,14 +328,16 @@ class _ProcessTransport:
         send_row: np.ndarray,
         reader: Callable[[Sequence[Any]], Any],
     ) -> Any:
-        clock, rank = self._clock, self.rank
+        clock, rank, plane = self._clock, self.rank, self._plane
         # Ship the same quantities the barrier action reads in-process:
         # this rank's pending segment, its phase label, and (from rank 0)
         # the phase accrual used to apportion the superstep's compute.
         segment = clock._pending_segment[rank]
         phase = clock._phase[rank]
         accrual = dict(clock._phase_accrual[rank]) if rank == 0 else None
-        enc = _encode_payload(kind, payload)
+        plane.sweep()  # unpooled: drop attachments whose views are gone
+        enc = _encode_payload(kind, payload, plane)
+        own = _encoded_segments(enc)
         try:
             self._send(
                 (
@@ -295,6 +348,7 @@ class _ProcessTransport:
                     phase,
                     accrual,
                     enc,
+                    plane.held(),
                 )
             )
             msg = self._recv()
@@ -302,19 +356,29 @@ class _ProcessTransport:
                 raise RankFailure(
                     f"rank {rank}: a peer rank aborted the computation"
                 )
-            try:
-                result = reader(_LazySlots(msg[1]))
-            finally:
-                # The leave barrier: senders keep segments alive until
-                # every reader acked.
-                self._send(("ack",))
-                resumed = self._recv()
-            if resumed[0] != "resume":
-                raise RankFailure(
-                    f"rank {rank}: a peer rank aborted the computation"
-                )
+            if plane.pooled:
+                # The parent only returns segments every rank released;
+                # recycling before the read is safe because this round's
+                # own segments are still in flight, not in the list.
+                plane.recycle(msg[2])
+                result = reader(_LazySlots(msg[1], plane.decode))
+            else:
+                try:
+                    result = reader(_LazySlots(msg[1], plane.decode))
+                finally:
+                    # The legacy leave barrier: senders keep segments
+                    # alive until every reader acked.
+                    self._send(("ack",))
+                    resumed = self._recv()
+                if resumed[0] != "resume":
+                    raise RankFailure(
+                        f"rank {rank}: a peer rank aborted the computation"
+                    )
         finally:
-            shm.unlink_segments(_encoded_segments(enc))
+            if not plane.pooled:
+                # Unpooled recycle == unlink.  Live zero-copy views of
+                # consumers survive this: only the name goes away.
+                plane.recycle(own)
         # Mirror the superstep commit clearing the rank's local accrual.
         clock._pending_segment[rank] = 0.0
         clock._phase_accrual[rank].clear()
@@ -367,42 +431,51 @@ def _worker_main(
             pass
     disk = cluster.disks[rank]
     clock = cluster.clock  # forked copy: authoritative only for this rank
+    spec = cluster.spec
+    plane = shm.DataPlane(
+        pooled=spec.shm_pool, zero_copy=spec.shm_zero_copy
+    )
     transport = cluster.transport_for(
-        rank, _ProcessTransport(rank, cluster.spec.p, conn, clock, disk)
+        rank,
+        _ProcessTransport(rank, spec.p, conn, clock, disk, plane),
     )
-    comm = Comm(
-        rank, cluster.spec.p, transport, clock, cluster.stats, disk
-    )
+    comm = Comm(rank, spec.p, transport, clock, cluster.stats, disk)
     clock.rank_start(rank, disk.stats.blocks_total, disk.work.seconds)
     try:
         result = rank_program(comm, *args)
         clock.mark_segment(rank, disk.stats.blocks_total, disk.work.seconds)
-        blob = shm.encode(result)
-        try:
-            conn.send(
-                (
-                    "done",
-                    clock._pending_segment[rank],
-                    clock._phase[rank],
-                    blob,
-                    disk.stats.snapshot(),
-                    {
-                        "seconds": disk.work.seconds,
-                        "rows_sorted": disk.work.rows_sorted,
-                        "rows_scanned": disk.work.rows_scanned,
-                        "spill_counter": disk._counter,
-                    },
-                )
+        blob = plane.encode(result)
+        conn.send(
+            (
+                "done",
+                clock._pending_segment[rank],
+                clock._phase[rank],
+                blob,
+                disk.stats.snapshot(),
+                {
+                    "seconds": disk.work.seconds,
+                    "rows_sorted": disk.work.rows_sorted,
+                    "rows_scanned": disk.work.rows_scanned,
+                    "spill_counter": disk._counter,
+                },
+                plane.stats(),
             )
-            conn.recv()  # release (or abort) — parent decoded the result
-        finally:
-            shm.unlink_segments(blob.segments)
+        )
+        conn.recv()  # release (or abort) — parent decoded the result
     except BaseException as exc:  # noqa: BLE001 - ship, don't hang peers
         try:
             conn.send(("error", _ship_exception(rank, exc, disk)))
+            # Peers may still be reading this rank's segments; wait for
+            # the parent's abort before tearing the data plane down so a
+            # mid-read attach never finds the name already gone.
+            if conn.poll(_ABORT_DRAIN_SEC):
+                conn.recv()
         except Exception:
             pass
     finally:
+        # Unlinks every segment this worker created — pooled, in flight,
+        # or holding the result blob — and closes foreign attachments.
+        plane.close()
         try:
             conn.close()
         except Exception:  # pragma: no cover - defensive
@@ -430,10 +503,10 @@ class ProcessBackend:
                 "the process backend needs the fork start method "
                 "(unavailable on this platform); use backend='thread'"
             )
-        # A SIGKILL'd worker from an earlier run leaks its in-flight
-        # segments (it never reaches its unlink and the coordinator may
-        # never have learnt the names).  Segment names embed their creator
-        # pid, so stale ones are identifiable and safe to reclaim here.
+        # A SIGKILL'd worker from an earlier run leaks its arena segments
+        # (it never reaches plane.close() and the coordinator may never
+        # have learnt the names).  Segment names embed their creator pid,
+        # so stale ones are identifiable and safe to reclaim here.
         shm.sweep_orphans()
         ctx = multiprocessing.get_context("fork")
         p = cluster.spec.p
@@ -470,13 +543,25 @@ class _Abort(Exception):
 
 
 class _Coordinator:
-    """Parent-side replay of the thread backend's barrier action."""
+    """Parent-side replay of the thread backend's barrier action.
+
+    Under the pooled plane the coordinator additionally keeps the segment
+    *ledger*: every shared segment delivered in a superstep is in flight
+    until all ``p`` ranks have released it (reported via the ``held``
+    list on their next message), at which point its name is queued for
+    the creator's next ``deliver`` and the creator's arena may reuse it.
+    """
 
     def __init__(self, cluster, conns, procs):
         self.cluster = cluster
         self.conns = conns
         self.procs = procs
         self.p = cluster.spec.p
+        self.pooled = cluster.spec.shm_pool
+        # segment name -> (owner rank, ranks yet to release it)
+        self._ledger: dict[str, tuple[int, set[int]]] = {}
+        # owner rank -> segment names cleared for reuse
+        self._releasable: dict[int, list[str]] = {}
 
     # -- plumbing ---------------------------------------------------------
 
@@ -530,8 +615,29 @@ class _Coordinator:
             msg = self._recv(j)
             if msg[0] == "error":
                 raise _Abort(self._absorb_error(j, msg))
+            if msg[0] == "step" and self.pooled:
+                self._release(j, msg[7])
             msgs[j] = msg
         return msgs
+
+    def _release(self, rank: int, held: list[str]) -> None:
+        """Process one rank's release notification.
+
+        ``rank`` sending its next step message means its reader for the
+        previous superstep has returned; any in-flight segment it does
+        not report as held can never be touched by it again.  A segment
+        released by all ranks moves to its owner's releasable queue.
+        """
+        held_set = set(held)
+        freed = []
+        for name, (owner, waiting) in self._ledger.items():
+            if rank in waiting and name not in held_set:
+                waiting.discard(rank)
+                if not waiting:
+                    freed.append((name, owner))
+        for name, owner in freed:
+            del self._ledger[name]
+            self._releasable.setdefault(owner, []).append(name)
 
     def _absorb_error(self, rank: int, msg) -> BaseException:
         """Unpack a worker error, adopting its shipped disk/work counters
@@ -545,13 +651,15 @@ class _Coordinator:
         return exc
 
     def _superstep(self, msgs: dict[int, tuple]) -> None:
-        """Meter + commit exactly like the thread backend's barrier action,
-        then deliver payloads and run the ack/resume (leave) round."""
+        """Meter + commit exactly like the thread backend's barrier
+        action, then deliver payloads (with each creator's recycled
+        segments under the pooled plane, or followed by the legacy
+        ack/resume leave round otherwise)."""
         clock = self.cluster.clock
         kind = msgs[0][1]
         rows = []
         for j in range(self.p):
-            _, _, row, segment, phase, accrual, _ = msgs[j]
+            _, _, row, segment, phase, accrual, _, _ = msgs[j]
             rows.append(np.asarray(row, dtype=np.int64))
             clock._pending_segment[j] = segment
             clock._phase[j] = phase
@@ -567,7 +675,22 @@ class _Coordinator:
         clock.commit_superstep(kind, total, max_rank)
 
         entries = [msgs[j][6] for j in range(self.p)]
-        self._broadcast(("deliver", entries))
+        if self.pooled:
+            # Register this round's segments before handing anything out:
+            # all p ranks must release a segment before it is reused.
+            for j in range(self.p):
+                for name in _encoded_segments(entries[j]):
+                    self._ledger[name] = (j, set(range(self.p)))
+            for j, conn in enumerate(self.conns):
+                recycle = tuple(self._releasable.pop(j, ()))
+                try:
+                    conn.send(
+                        ("deliver", _prune_entries(kind, entries, j), recycle)
+                    )
+                except (BrokenPipeError, OSError):
+                    pass
+            return
+        self._broadcast(("deliver", entries, ()))
         failure: BaseException | None = None
         for j in range(self.p):
             msg = self._recv(j)
@@ -586,12 +709,25 @@ class _Coordinator:
         clock = self.cluster.clock
         results: list = [None] * self.p
         finals: list[float] = [0.0] * self.p
+        pool_totals: dict[str, float] = {}
         for j in range(self.p):
-            _, final, phase, blob, disk_snap, work_snap = msgs[j]
+            _, final, phase, blob, disk_snap, work_snap, plane_stats = msgs[j]
             finals[j] = final
             clock._phase[j] = phase
             results[j] = shm.decode(blob)
             self._apply_local_state(j, disk_snap, work_snap)
+            for key, val in plane_stats.items():
+                if key != "hit_rate":
+                    pool_totals[key] = pool_totals.get(key, 0) + val
+        leases = pool_totals.get("leases", 0)
+        pool_totals["hit_rate"] = (
+            round(pool_totals.get("segments_reused", 0) / leases, 4)
+            if leases
+            else 0.0
+        )
+        pool_totals["pooled"] = self.cluster.spec.shm_pool
+        pool_totals["zero_copy"] = self.cluster.spec.shm_zero_copy
+        self.cluster.shm_pool = pool_totals
         self._broadcast(("release",))
         for proc in self.procs:
             proc.join(timeout=_ABORT_DRAIN_SEC)
@@ -617,9 +753,15 @@ class _Coordinator:
     # -- failure / shutdown ------------------------------------------------
 
     def _cleanup_failure(self, origin: BaseException) -> BaseException:
-        """Abort every worker, free orphaned segments, pick the best origin
-        (a real error beats a secondary RankFailure, like the thread
-        engine's error triage)."""
+        """Abort every worker and pick the best origin (a real error
+        beats a secondary RankFailure, like the thread engine's triage).
+
+        Segment cleanup needs no parent-side unlinking any more: every
+        worker tears down its own :class:`~repro.mpi.shm.DataPlane` in
+        its ``finally`` (a worker that errors first waits for our abort,
+        so it never yanks a segment from under a mid-read peer), and
+        SIGKILL'd workers are reaped by the targeted orphan sweep in
+        :meth:`close`."""
         self._broadcast(("abort",))
         deadline = time.monotonic() + _ABORT_DRAIN_SEC
         for j, conn in enumerate(self.conns):
@@ -631,16 +773,19 @@ class _Coordinator:
                     msg = conn.recv()
                 except (EOFError, OSError):
                     break
-                if msg[0] == "step":
-                    shm.unlink_segments(_encoded_segments(msg[6]))
-                elif msg[0] == "done":
-                    shm.unlink_segments(msg[3].segments)
-                elif msg[0] == "error":
+                if msg[0] == "error":
                     exc = self._absorb_error(j, msg)
                     if isinstance(origin, RankFailure) and not isinstance(
                         exc, RankFailure
                     ):
                         origin = exc
+                    # Workers hold their plane teardown until the parent
+                    # acknowledges; the initial broadcast covered errors
+                    # already in flight, late ones get a direct reply.
+                    try:
+                        conn.send(("abort",))
+                    except (BrokenPipeError, OSError):
+                        pass
         return origin
 
     def close(self) -> None:

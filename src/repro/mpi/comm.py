@@ -12,11 +12,13 @@ time and the traffic meters.
 metering runs over the in-process mailbox transport of the thread backend
 (:class:`ThreadTransport`, payloads travel by reference) and over the
 shared-memory transport of the process backend (payloads cross address
-spaces; see :mod:`repro.mpi.backends`).  Under the thread backend rank
-code must treat received arrays as read-only or copy them, exactly as it
-would after a real ``MPI_Recv``; the process backend delivers private
-copies, a safe superset of that contract.  Payloads are metered at their
-buffer size either way, matching the buffer-protocol fast path of mpi4py.
+spaces; see :mod:`repro.mpi.backends`).  Under both backends rank code
+must treat received arrays as read-only or copy them, exactly as after a
+real ``MPI_Recv``: the thread backend delivers them by reference, the
+process backend as read-only views aliasing the sender's shared segment
+(:func:`repro.mpi.shm.materialize` yields a writable copy when mutation
+is genuinely needed).  Payloads are metered at their buffer size either
+way, matching the buffer-protocol fast path of mpi4py.
 """
 
 from __future__ import annotations

@@ -22,7 +22,7 @@ from __future__ import annotations
 import os
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -55,6 +55,11 @@ class ClusterResult:
     disks: list[LocalDisk]
     #: Real host seconds the simulation took.
     host_seconds: float = 0.0
+    #: Shared-memory data-plane counters (process backend only): segment
+    #: leases, pool hits, bytes reused, attach reuse — summed over worker
+    #: ranks (see :meth:`repro.mpi.shm.DataPlane.stats`).  Empty for the
+    #: thread backend, whose payloads never leave the address space.
+    shm_pool: dict = field(default_factory=dict)
 
     @property
     def simulated_seconds(self) -> float:
@@ -110,6 +115,9 @@ class Cluster:
         self._action_error: BaseException | None = None
         self._enter = threading.Barrier(spec.p, action=self._safe_action)
         self._leave = threading.Barrier(spec.p)
+        # Filled by the process backend's coordinator with the aggregated
+        # data-plane counters of its workers; stays empty under threads.
+        self.shm_pool: dict = {}
 
     def _safe_action(self) -> None:
         try:
@@ -186,6 +194,7 @@ class Cluster:
             stats=self.stats,
             disks=self.disks,
             host_seconds=time.perf_counter() - t0,
+            shm_pool=dict(self.shm_pool),
         )
 
 

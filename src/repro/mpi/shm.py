@@ -1,4 +1,4 @@
-"""Shared-memory payload codec for the process execution backend.
+"""Pooled, zero-copy shared-memory data plane for the process backend.
 
 Collective payloads in this code base are NumPy-heavy (packed key arrays,
 measures, :class:`~repro.storage.table.Relation` /
@@ -9,21 +9,55 @@ arrays byte-for-byte into the stream — an avoidable copy through the
 kernel.  Instead, :func:`encode` pickles the object graph while diverting
 every large numeric array into a POSIX ``multiprocessing.shared_memory``
 segment; what crosses the pipe is a small pickle blob holding segment
-descriptors.  :func:`decode` reattaches the segments and copies the arrays
-back out (one ``memcpy`` — the receiver owns its data, matching the
-"treat received buffers as read-only or copy" contract of the thread
-backend).
+descriptors.
 
-Lifecycle: the *creator* of a blob owns its segments and must call
-:func:`unlink_segments` once every consumer has decoded — the engine's
-superstep protocol sequences this with an ack/resume round, mirroring the
-leave-barrier of the thread backend.  Unlinking is idempotent so the
-coordinator can also sweep segments during failure cleanup.
+This module provides three coordinated pieces (the MPI analogy for each
+in parentheses — cf. the registered buffer pools and zero-copy rendezvous
+of mpi4py's buffer-protocol path):
+
+:class:`SegmentArena` (registered buffer pool)
+    A per-process pool of size-classed segments reused across supersteps.
+    ``lease`` hands out a segment (creating one only on a pool miss),
+    ``recycle`` returns it once every consumer has dropped its lease, and
+    ``close`` unlinks everything at backend shutdown.  This replaces the
+    per-payload ``shm_open``/``mmap``/``unlink`` syscall churn of the
+    naive plane.  With ``pooled=False`` the arena degrades to the
+    create/unlink-per-payload behaviour (the benchmark baseline).
+
+:class:`LeaseTracker` + zero-copy :meth:`DataPlane.decode` (rendezvous)
+    Decoding can return ndarrays that *alias* the segment — read-only
+    views pinned by a lease that is dropped automatically when the last
+    view is garbage collected.  The superstep protocol in
+    :mod:`repro.mpi.backends` reports still-held segments to the
+    coordinator, which recycles a creator's segment only after every
+    consumer rank has released it.  Callers that need to mutate a
+    received array use :func:`materialize`.
+
+Lane batching (:meth:`DataPlane.encode_lanes`)
+    ``alltoall``/``scatter`` payloads encode all ``p`` lanes into **one**
+    arena segment with an offset table — one segment per collective
+    instead of one per lane — while each lane stays independently
+    decodable, so receivers still only pay for lanes addressed to them.
 
 Small arrays (under :data:`SHM_MIN_BYTES`), object-dtype arrays and
 non-array values ride the pickle stream unchanged — the mpi4py object
 path, with the buffer-protocol fast path reserved for payloads where it
-pays.
+pays.  Traffic metering (:func:`repro.mpi.stats.payload_nbytes`) happens
+on the raw payloads *before* encoding and is unaffected by any of this;
+so is :class:`~repro.mpi.faults.FaultyTransport` sealing, which wraps the
+payload before the transport sees it.
+
+Zero-copy safety rests on POSIX unlink semantics: unlinking a segment
+only removes its *name* — the backing memory survives until the last
+mapping is closed, so a consumer's read-only views outlive the creator's
+unlink.  The only operation that must wait for consumers is *reuse*
+(writing new data into a pooled segment), which is exactly what the
+coordinator's release accounting gates.
+
+Lifecycle without an arena (the module-level :func:`encode` /
+:func:`decode` convenience API): the creator owns the blob's segment and
+must call :func:`unlink_segments` once every consumer has decoded.
+Unlinking is idempotent so cleanup paths can always sweep.
 """
 
 from __future__ import annotations
@@ -32,28 +66,52 @@ import io
 import os
 import pickle
 import re
+import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Any, Iterable
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 
 __all__ = [
     "SHM_MIN_BYTES",
+    "SHM_MIN_BYTES_POOLED",
+    "DataPlane",
+    "LeaseTracker",
+    "SegmentArena",
     "ShmBlob",
     "decode",
     "encode",
+    "encode_lanes",
+    "materialize",
     "sweep_orphans",
     "unlink_segments",
 ]
 
 #: Arrays smaller than one page are cheaper inline than as a segment
 #: (``shm_open`` + ``mmap`` + ``unlink`` cost more than pickling 4 KB).
+#: This calibration is for the *unpooled* plane, where every divert pays
+#: the full segment-lifecycle syscalls; it is also what the arena-less
+#: module-level :func:`encode` uses.
 SHM_MIN_BYTES = 1 << 12
+
+#: Divert threshold under a pooled arena.  Leasing from the pool reduces
+#: the marginal cost of a divert to a memcpy into an already-mapped
+#: segment, so much smaller arrays are worth keeping out of the pickle
+#: stream (inline bytes cross the pipe twice per hop; diverted bytes are
+#: written once and read zero-copy).
+SHM_MIN_BYTES_POOLED = 1 << 9
 
 #: NumPy dtype kinds eligible for the shared-memory fast path
 #: (fixed-width numeric buffers; the hot lanes are int64/float64).
 _SHM_DTYPE_KINDS = "biufc"
+
+#: Cache-line alignment of array slots inside a shared segment.
+_ALIGN = 64
+
+#: Pool retention cap per size class: beyond this, recycled segments are
+#: unlinked instead of pooled (bounds arena memory on bursty payloads).
+_MAX_POOLED_PER_CLASS = 8
 
 _PID_TAG = "repro-shm-ndarray"
 
@@ -95,8 +153,8 @@ def _pid_alive(pid: int) -> bool:
 def sweep_orphans(pids: Iterable[int] | None = None) -> list[str]:
     """Unlink leaked segments whose creator process is dead.
 
-    A SIGKILL'd worker leaves its in-flight segments behind — it never
-    reaches its ``finally: unlink`` and the coordinator may never learn
+    A SIGKILL'd worker leaves its arena segments behind — it never
+    reaches its ``finally: close`` and the coordinator may never learn
     the segment names.  This sweep walks the shm filesystem for names
     matching our ``rp<pid>x...`` scheme and unlinks every segment whose
     creator pid no longer exists.  With ``pids`` given, only segments
@@ -130,72 +188,6 @@ def sweep_orphans(pids: Iterable[int] | None = None) -> list[str]:
     return swept
 
 
-@dataclass(frozen=True)
-class ShmBlob:
-    """One encoded payload: pickle bytes + the segments it references.
-
-    ``segments`` lists the shared-memory names *created* by the encoder;
-    the blob itself is cheap to pickle and may be relayed to any number of
-    processes before the creator unlinks.
-    """
-
-    data: bytes
-    segments: tuple[str, ...]
-
-    @property
-    def nbytes(self) -> int:
-        return len(self.data)
-
-
-class _ShmPickler(pickle.Pickler):
-    """Pickler that spills large numeric ndarrays to shared memory."""
-
-    def __init__(self, file: io.BytesIO, segments: list[str]):
-        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
-        self._segments = segments
-        # pickle consults persistent_id before its memo, so an array
-        # referenced twice would otherwise get two segments.
-        self._seen: dict[int, tuple] = {}
-
-    def persistent_id(self, obj: Any):
-        if not isinstance(obj, np.ndarray):
-            return None
-        if (
-            obj.dtype.kind not in _SHM_DTYPE_KINDS
-            or obj.nbytes < SHM_MIN_BYTES
-        ):
-            return None
-        pid = self._seen.get(id(obj))
-        if pid is not None:
-            return pid
-        arr = np.ascontiguousarray(obj)
-        seg = _create_segment(arr.nbytes)
-        try:
-            dst = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
-            dst[...] = arr
-            pid = (_PID_TAG, seg.name, arr.dtype.str, arr.shape)
-        finally:
-            seg.close()  # the mapping; the segment lives until unlink
-        self._segments.append(seg.name)
-        self._seen[id(obj)] = pid
-        return pid
-
-
-class _ShmUnpickler(pickle.Unpickler):
-    """Unpickler that copies persistent ndarrays back out of segments."""
-
-    def persistent_load(self, pid):
-        tag, name, dtype_str, shape = pid
-        if tag != _PID_TAG:  # pragma: no cover - foreign persistent id
-            raise pickle.UnpicklingError(f"unknown persistent id {tag!r}")
-        seg = _attach(name)
-        try:
-            src = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=seg.buf)
-            return src.copy()
-        finally:
-            seg.close()
-
-
 def _attach(name: str) -> shared_memory.SharedMemory:
     """Attach to an existing segment without adopting its ownership.
 
@@ -221,24 +213,522 @@ def _attach(name: str) -> shared_memory.SharedMemory:
         resource_tracker.register = real_register
 
 
-def encode(obj: Any) -> ShmBlob:
-    """Encode one payload; large numeric arrays land in shared memory."""
-    segments: list[str] = []
+def materialize(arr: Any) -> Any:
+    """Writable private copy of a possibly segment-aliasing array.
+
+    The escape hatch for rank code that must mutate a received payload:
+    zero-copy decode hands out read-only views pinned to the sender's
+    segment; ``materialize`` detaches them (and drops the lease as soon
+    as the view is garbage collected).  Writable arrays — including
+    everything the thread backend delivers — pass through untouched.
+    """
+    if isinstance(arr, np.ndarray) and not arr.flags.writeable:
+        return arr.copy()
+    return arr
+
+
+# ---------------------------------------------------------------------------
+# blob format
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShmBlob:
+    """One encoded payload: pickle bytes + its shared-segment directory.
+
+    ``segments`` names the shared-memory segments holding the diverted
+    arrays of this payload.  The pooled plane packs every array of a
+    payload — and all lanes of one collective — into a *single* arena
+    segment, so the tuple usually has one entry; the legacy (unpooled)
+    plane creates one segment per array.  ``arrays`` is the offset
+    table: entry ``i`` is ``(segment_index, offset, dtype_str, shape)``
+    for the array whose persistent id in ``data`` is ``(tag, i)``.  The
+    blob itself is cheap to pickle and may be relayed to any number of
+    processes before the creator recycles or unlinks its segments.
+    """
+
+    data: bytes
+    segments: tuple[str, ...] = ()
+    arrays: tuple[tuple[int, int, str, tuple[int, ...]], ...] = ()
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.data)
+
+
+class _CollectingPickler(pickle.Pickler):
+    """Pickler that diverts large numeric ndarrays into an array list.
+
+    The stream carries ``(tag, index)`` persistent ids; the arrays
+    themselves are collected (contiguous, pinned) for a single copy pass
+    into one shared segment after the dump.
+    """
+
+    def __init__(self, file: io.BytesIO, min_bytes: int = SHM_MIN_BYTES):
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._min_bytes = min_bytes
+        self.arrays: list[np.ndarray] = []
+        # pickle consults persistent_id before its memo, so an array
+        # referenced twice would otherwise be copied twice.  The map pins
+        # the object itself: keying by id() alone would let a temporary
+        # array be gc'd mid-dump, its id recycled, and a later array
+        # silently aliased to the wrong slot.
+        self._seen: dict[int, tuple[Any, int]] = {}
+
+    def persistent_id(self, obj: Any):
+        if not isinstance(obj, np.ndarray):
+            return None
+        if (
+            obj.dtype.kind not in _SHM_DTYPE_KINDS
+            or obj.nbytes < self._min_bytes
+        ):
+            return None
+        entry = self._seen.get(id(obj))
+        if entry is not None and entry[0] is obj:
+            return (_PID_TAG, entry[1])
+        index = len(self.arrays)
+        self.arrays.append(np.ascontiguousarray(obj))
+        self._seen[id(obj)] = (obj, index)
+        return (_PID_TAG, index)
+
+
+def _collect_dump(
+    obj: Any, min_bytes: int = SHM_MIN_BYTES
+) -> tuple[bytes, list[np.ndarray]]:
     buf = io.BytesIO()
+    pickler = _CollectingPickler(buf, min_bytes)
+    pickler.dump(obj)
+    return buf.getvalue(), pickler.arrays
+
+
+def _divert_threshold(arena: "SegmentArena | None") -> int:
+    """The arena's economics decide how small a divert still pays."""
+    if arena is not None and arena.pooled:
+        return SHM_MIN_BYTES_POOLED
+    return SHM_MIN_BYTES
+
+
+def _aligned_layout(
+    arrays: Sequence[np.ndarray],
+) -> tuple[list[int], int]:
+    """Cache-line-aligned offsets for packing ``arrays`` into one segment."""
+    offsets: list[int] = []
+    total = 0
+    for arr in arrays:
+        total = (total + _ALIGN - 1) & ~(_ALIGN - 1)
+        offsets.append(total)
+        total += arr.nbytes
+    return offsets, total
+
+
+def _pack_arrays(
+    seg: shared_memory.SharedMemory,
+    arrays: Sequence[np.ndarray],
+    offsets: Sequence[int],
+) -> tuple[tuple[int, int, str, tuple[int, ...]], ...]:
+    """Copy ``arrays`` into one segment; return their blob table."""
+    table = []
+    for arr, offset in zip(arrays, offsets):
+        dst = np.ndarray(
+            arr.shape, dtype=arr.dtype, buffer=seg.buf, offset=offset
+        )
+        dst[...] = arr
+        table.append((0, offset, arr.dtype.str, arr.shape))
+    return tuple(table)
+
+
+class _ShmUnpickler(pickle.Unpickler):
+    """Unpickler resolving ``(tag, index)`` ids against a blob's table.
+
+    ``view_of(seg_index, shape, dtype, offset)`` maps a table entry to
+    an ndarray over the attached segment — a private copy or a pinned
+    read-only view, the caller's choice.  Repeated references to the
+    same index return the same object.
+    """
+
+    def __init__(self, blob: ShmBlob, view_of):
+        super().__init__(io.BytesIO(blob.data))
+        self._blob = blob
+        self._view_of = view_of
+        self._loaded: dict[int, np.ndarray] = {}
+
+    def persistent_load(self, pid):
+        tag, index = pid
+        if tag != _PID_TAG:  # pragma: no cover - foreign persistent id
+            raise pickle.UnpicklingError(f"unknown persistent id {tag!r}")
+        arr = self._loaded.get(index)
+        if arr is None:
+            seg_idx, offset, dtype_str, shape = self._blob.arrays[index]
+            arr = self._view_of(seg_idx, shape, np.dtype(dtype_str), offset)
+            self._loaded[index] = arr
+        return arr
+
+
+# ---------------------------------------------------------------------------
+# segment arena (creator side)
+# ---------------------------------------------------------------------------
+
+
+class SegmentArena:
+    """Per-process pool of size-classed shared-memory segments.
+
+    ``lease`` returns an open segment of at least the requested size,
+    reusing a pooled one when available (sizes are rounded to powers of
+    two, so steady-state supersteps hit the pool).  A leased segment is
+    *in flight* until :meth:`recycle` is called with its name — which the
+    backend does only once the coordinator has confirmed every consumer
+    rank released it.  ``pooled=False`` turns recycling into an immediate
+    unlink (the unpooled baseline).  :meth:`close` unlinks every segment,
+    pooled or in flight — the backend-shutdown path; segments a crashed
+    worker never closed are reclaimed by :func:`sweep_orphans` instead.
+    """
+
+    def __init__(self, pooled: bool = True):
+        self.pooled = pooled
+        self._pool: dict[int, list[shared_memory.SharedMemory]] = {}
+        self._in_flight: dict[str, shared_memory.SharedMemory] = {}
+        self._class_of: dict[str, int] = {}
+        self.segments_created = 0
+        self.segments_reused = 0
+        self.bytes_created = 0
+        self.bytes_reused = 0
+        self.leases = 0
+
+    @staticmethod
+    def _size_class(nbytes: int) -> int:
+        return 1 << max(nbytes - 1, SHM_MIN_BYTES - 1).bit_length()
+
+    def lease(self, nbytes: int) -> shared_memory.SharedMemory:
+        """Check out a segment with room for ``nbytes`` bytes."""
+        if not self.pooled:
+            # Legacy plane: exact-size segment per payload, unlinked on
+            # recycle — no reuse, so no point rounding to a size class.
+            seg = _create_segment(max(nbytes, 1))
+            self.leases += 1
+            self.segments_created += 1
+            self.bytes_created += max(nbytes, 1)
+            self._in_flight[seg.name] = seg
+            self._class_of[seg.name] = 0
+            return seg
+        size = self._size_class(nbytes)
+        self.leases += 1
+        bucket = self._pool.get(size)
+        if bucket:
+            seg = bucket.pop()
+            self.segments_reused += 1
+            self.bytes_reused += nbytes
+        else:
+            seg = _create_segment(size)
+            self.segments_created += 1
+            self.bytes_created += size
+        self._in_flight[seg.name] = seg
+        self._class_of[seg.name] = size
+        return seg
+
+    def recycle(self, names: Iterable[str]) -> None:
+        """Return released segments to the pool (or unlink, if unpooled)."""
+        for name in names:
+            seg = self._in_flight.pop(name, None)
+            if seg is None:
+                continue
+            size = self._class_of[name]
+            bucket = self._pool.setdefault(size, [])
+            if self.pooled and len(bucket) < _MAX_POOLED_PER_CLASS:
+                bucket.append(seg)
+            else:
+                self._class_of.pop(name, None)
+                _destroy(seg)
+
+    @property
+    def pooled_segments(self) -> int:
+        return sum(len(b) for b in self._pool.values())
+
+    def stats(self) -> dict[str, int | float]:
+        """Pool counters (aggregated across ranks by the coordinator)."""
+        hit_rate = self.segments_reused / self.leases if self.leases else 0.0
+        return {
+            "leases": self.leases,
+            "segments_created": self.segments_created,
+            "segments_reused": self.segments_reused,
+            "bytes_created": self.bytes_created,
+            "bytes_reused": self.bytes_reused,
+            "hit_rate": round(hit_rate, 4),
+        }
+
+    def close(self) -> None:
+        """Unlink every segment this arena ever handed out and still owns."""
+        for bucket in self._pool.values():
+            for seg in bucket:
+                _destroy(seg)
+        for seg in self._in_flight.values():
+            _destroy(seg)
+        self._pool.clear()
+        self._in_flight.clear()
+        self._class_of.clear()
+
+
+def _destroy(seg: shared_memory.SharedMemory) -> None:
+    """Unlink + close one owned segment, tolerating raced cleanup and
+    still-exported local views (the mapping dies with the process)."""
     try:
-        _ShmPickler(buf, segments).dump(obj)
+        seg.unlink()
+    except FileNotFoundError:  # pragma: no cover - raced cleanup
+        pass
+    try:
+        seg.close()
+    except BufferError:  # pragma: no cover - local views still alive
+        pass
+
+
+# ---------------------------------------------------------------------------
+# lease tracker (consumer side)
+# ---------------------------------------------------------------------------
+
+
+class _Attachment:
+    """One consumer-side mapping of a foreign segment, with pinned views.
+
+    ``pins`` counts the live zero-copy views aliasing the mapping; each
+    view carries a weakref finalizer that unpins it on garbage
+    collection, so "no pins" means no rank code can still observe the
+    segment's bytes.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.shm = _attach(name)
+        self.pins = 0
+        self.closed = False
+
+    def view(
+        self, shape: tuple[int, ...], dtype: np.dtype, offset: int
+    ) -> np.ndarray:
+        arr = np.ndarray(shape, dtype=dtype, buffer=self.shm.buf, offset=offset)
+        arr.flags.writeable = False
+        self.pins += 1
+        weakref.finalize(arr, _Attachment._unpin, self)
+        return arr
+
+    @staticmethod
+    def _unpin(att: "_Attachment") -> None:
+        att.pins -= 1
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover - views still exported
+            self.closed = False
+
+
+class LeaseTracker:
+    """Consumer-side registry of segment attachments and their leases.
+
+    ``cache=True`` (pooled planes) keeps attachments open across
+    supersteps — segment names are stable under pooling, so the next
+    superstep's decode reuses the mapping without another ``shm_open``.
+    ``cache=False`` (unpooled planes) closes an attachment as soon as its
+    last pin drops, releasing the backing memory of segments the owner
+    has already unlinked.
+    """
+
+    def __init__(self, cache: bool = True):
+        self.cache = cache
+        self._attachments: dict[str, _Attachment] = {}
+        self.attaches = 0
+        self.attach_reuses = 0
+
+    def attachment(self, name: str) -> _Attachment:
+        att = self._attachments.get(name)
+        if att is not None and not att.closed:
+            self.attach_reuses += 1
+            return att
+        att = _Attachment(name)
+        self._attachments[name] = att
+        self.attaches += 1
+        return att
+
+    def held(self) -> list[str]:
+        """Names of segments still pinned by live zero-copy views."""
+        return [
+            name
+            for name, att in self._attachments.items()
+            if not att.closed and att.pins > 0
+        ]
+
+    def sweep(self) -> None:
+        """Drop attachments with no remaining pins (unpooled mode only)."""
+        if self.cache:
+            return
+        dead = []
+        for name, att in self._attachments.items():
+            if att.pins <= 0:
+                att.close()
+                if att.closed:
+                    dead.append(name)
+        for name in dead:
+            del self._attachments[name]
+
+    def stats(self) -> dict[str, int]:
+        return {"attaches": self.attaches, "attach_reuses": self.attach_reuses}
+
+    def close(self) -> None:
+        for att in self._attachments.values():
+            att.close()
+        self._attachments.clear()
+
+
+# ---------------------------------------------------------------------------
+# encode / decode
+# ---------------------------------------------------------------------------
+
+
+def _encode_packed(
+    data: bytes, arrays: list[np.ndarray], arena: SegmentArena | None
+) -> ShmBlob:
+    """Pack every diverted array into one segment (the pooled layout)."""
+    offsets, total = _aligned_layout(arrays)
+    if arena is not None:
+        seg = arena.lease(total)
+        return ShmBlob(data, (seg.name,), _pack_arrays(seg, arrays, offsets))
+    seg = _create_segment(total)
+    try:
+        table = _pack_arrays(seg, arrays, offsets)
     except Exception:
-        unlink_segments(segments)  # don't leak partial encodings
+        _destroy(seg)  # don't leak partial encodings
         raise
-    return ShmBlob(buf.getvalue(), tuple(segments))
+    seg.close()  # the mapping; the segment lives until unlink
+    return ShmBlob(data, (seg.name,), table)
 
 
-def decode(blob: ShmBlob) -> Any:
-    """Decode a blob; the result owns private copies of every array."""
-    return _ShmUnpickler(io.BytesIO(blob.data)).load()
+def _encode_legacy(
+    data: bytes, arrays: list[np.ndarray], arena: SegmentArena
+) -> ShmBlob:
+    """One exact-size segment per array — the plane this PR replaces,
+    kept behind ``pooled=False`` as the benchmark baseline."""
+    names = []
+    table = []
+    for i, arr in enumerate(arrays):
+        seg = arena.lease(arr.nbytes)
+        dst = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+        dst[...] = arr
+        names.append(seg.name)
+        table.append((i, 0, arr.dtype.str, arr.shape))
+    return ShmBlob(data, tuple(names), tuple(table))
 
 
-def unlink_segments(names) -> None:
+def encode(obj: Any, arena: SegmentArena | None = None) -> ShmBlob:
+    """Encode one payload; large numeric arrays land in shared memory.
+
+    With a pooled ``arena`` every array is packed into one leased
+    segment; an unpooled arena reproduces the legacy segment-per-array
+    layout.  Without an arena a dedicated packed segment is created and
+    the caller owns it (:func:`unlink_segments`).
+    """
+    data, arrays = _collect_dump(obj, _divert_threshold(arena))
+    if not arrays:
+        return ShmBlob(data)
+    if arena is not None and not arena.pooled:
+        return _encode_legacy(data, arrays, arena)
+    return _encode_packed(data, arrays, arena)
+
+
+def encode_lanes(
+    lanes: Sequence[Any], arena: SegmentArena | None = None
+) -> list[ShmBlob | None]:
+    """Encode a per-destination lane list of one scatter/alltoall.
+
+    Every lane is pickled independently (receivers decode only the lanes
+    addressed to them).  Under a pooled arena all diverted arrays of all
+    ``p`` lanes are packed into a *single* segment with a shared offset
+    table — one segment per collective instead of one per lane; the
+    returned blobs alias that segment.  An unpooled arena keeps the
+    legacy per-lane, per-array segments.  ``None`` lanes stay ``None``.
+    """
+    if arena is not None and not arena.pooled:
+        return [
+            None if lane is None else encode(lane, arena) for lane in lanes
+        ]
+    min_bytes = _divert_threshold(arena)
+    dumped: list[tuple[bytes, list[np.ndarray]] | None] = [
+        None if lane is None else _collect_dump(lane, min_bytes)
+        for lane in lanes
+    ]
+    all_arrays: list[np.ndarray] = []
+    for item in dumped:
+        if item is not None:
+            all_arrays.extend(item[1])
+    if not all_arrays:
+        return [
+            None if item is None else ShmBlob(item[0]) for item in dumped
+        ]
+    packed = _encode_packed(b"", all_arrays, arena)
+    blobs: list[ShmBlob | None] = []
+    cursor = 0
+    for item in dumped:
+        if item is None:
+            blobs.append(None)
+            continue
+        data, arrays = item
+        lane_table = packed.arrays[cursor : cursor + len(arrays)]
+        cursor += len(arrays)
+        blobs.append(
+            ShmBlob(data, packed.segments if arrays else (), lane_table)
+        )
+    return blobs
+
+
+def decode(
+    blob: ShmBlob,
+    tracker: LeaseTracker | None = None,
+    zero_copy: bool = False,
+) -> Any:
+    """Decode a blob.
+
+    Default (no tracker): every array is a private writable copy and the
+    one-shot attachments are closed before returning — the legacy copy
+    plane.  With a ``tracker`` and ``zero_copy=True``: arrays are
+    read-only views aliasing the segments, pinned on the tracker's
+    attachments until garbage collected (see :func:`materialize`).
+    """
+    if not blob.segments:
+        return _ShmUnpickler(blob, None).load()
+    if tracker is not None:
+        atts: dict[int, _Attachment] = {}
+
+        def view_of(seg_idx, shape, dtype, offset):
+            att = atts.get(seg_idx)
+            if att is None:
+                att = atts[seg_idx] = tracker.attachment(
+                    blob.segments[seg_idx]
+                )
+            if zero_copy:
+                return att.view(shape, dtype, offset)
+            return np.ndarray(
+                shape, dtype=dtype, buffer=att.shm.buf, offset=offset
+            ).copy()
+
+        return _ShmUnpickler(blob, view_of).load()
+    segs: dict[int, shared_memory.SharedMemory] = {}
+    try:
+
+        def view_of(seg_idx, shape, dtype, offset):
+            seg = segs.get(seg_idx)
+            if seg is None:
+                seg = segs[seg_idx] = _attach(blob.segments[seg_idx])
+            return np.ndarray(
+                shape, dtype=dtype, buffer=seg.buf, offset=offset
+            ).copy()
+
+        return _ShmUnpickler(blob, view_of).load()
+    finally:
+        for seg in segs.values():
+            seg.close()
+
+
+def unlink_segments(names: Iterable[str]) -> None:
     """Free segments by name; missing segments are ignored (idempotent)."""
     for name in names:
         try:
@@ -251,3 +741,52 @@ def unlink_segments(names) -> None:
             pass
         finally:
             seg.close()
+
+
+# ---------------------------------------------------------------------------
+# the data plane (one per worker process)
+# ---------------------------------------------------------------------------
+
+
+class DataPlane:
+    """One worker's view of the shared-memory data plane.
+
+    Bundles the creator-side :class:`SegmentArena` and the consumer-side
+    :class:`LeaseTracker` under the (pooled, zero_copy) mode switches of
+    :class:`~repro.config.MachineSpec`.  The process backend constructs
+    one per worker; mode selection also decides the superstep release
+    protocol (see :mod:`repro.mpi.backends`).
+    """
+
+    def __init__(self, pooled: bool = True, zero_copy: bool = True):
+        self.pooled = pooled
+        self.zero_copy = zero_copy
+        self.arena = SegmentArena(pooled=pooled)
+        self.tracker = LeaseTracker(cache=pooled)
+
+    def encode(self, obj: Any) -> ShmBlob:
+        return encode(obj, arena=self.arena)
+
+    def encode_lanes(self, lanes: Sequence[Any]) -> list[ShmBlob | None]:
+        return encode_lanes(lanes, arena=self.arena)
+
+    def decode(self, blob: ShmBlob) -> Any:
+        return decode(blob, tracker=self.tracker, zero_copy=self.zero_copy)
+
+    def held(self) -> list[str]:
+        """Foreign segments still pinned by this worker's live views."""
+        return self.tracker.held()
+
+    def recycle(self, names: Iterable[str]) -> None:
+        """Coordinator confirmed release: pool (or unlink) own segments."""
+        self.arena.recycle(names)
+
+    def sweep(self) -> None:
+        self.tracker.sweep()
+
+    def stats(self) -> dict[str, int | float]:
+        return {**self.arena.stats(), **self.tracker.stats()}
+
+    def close(self) -> None:
+        self.tracker.close()
+        self.arena.close()

@@ -324,3 +324,53 @@ class TestSigkillMidCollective:
             if name.startswith(f"rp{pid_text}x")
         ]
         assert leftovers == []
+
+
+def _sigkill_mid_lease_prog(c, path):
+    big = np.arange(shm.SHM_MIN_BYTES // 8 + 7, dtype=np.int64)
+    # Under the zero-copy plane these decoded slots are views pinning
+    # leases on the peers' (pooled) segments.
+    slots = c.allgather(big)
+    if c.rank == 1:
+        with open(path, "w") as fh:
+            fh.write(str(os.getpid()))
+        # Die while the leases are live: own arena segments still in
+        # flight, foreign attachments still pinned, release round for
+        # this superstep never sent.
+        os.kill(os.getpid(), signal.SIGKILL)
+    total = int(np.asarray(slots[0], dtype=np.int64).sum())
+    c.allgather(np.array([total]))  # peers block here; rank 1 is gone
+    return c.rank
+
+
+@requires_fork
+class TestSigkillMidLease:
+    """Chaos cell for the zero-copy data plane: a worker SIGKILL'd while
+    holding live leases must not wedge its peers, and no shared-memory
+    segment — its own arena's or the pooled segments its death left
+    unreleased — may outlive the run."""
+
+    @pytest.mark.parametrize(
+        "pooled,zero_copy",
+        [
+            pytest.param(True, True, id="pooled-zerocopy"),
+            pytest.param(True, False, id="pooled-copy"),
+            pytest.param(False, True, id="unpooled-zerocopy"),
+        ],
+    )
+    def test_no_leaked_segments(self, tmp_path, pooled, zero_copy):
+        before = {
+            n for n in os.listdir("/dev/shm") if shm._SEGMENT_RE.match(n)
+        }
+        path = str(tmp_path / "victim")
+        spec = det_spec(
+            3, "process", shm_pool=pooled, shm_zero_copy=zero_copy
+        )
+        with pytest.raises(MPIError, match="rank 1 worker process died"):
+            run_spmd(_sigkill_mid_lease_prog, spec, args=(path,))
+        pid_text = open(path).read().strip()
+        after = {
+            n for n in os.listdir("/dev/shm") if shm._SEGMENT_RE.match(n)
+        }
+        assert after <= before, f"leaked segments: {sorted(after - before)}"
+        assert not [n for n in after if n.startswith(f"rp{pid_text}x")]
