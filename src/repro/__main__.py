@@ -87,7 +87,8 @@ def cmd_build(args: argparse.Namespace) -> int:
     cube = build_data_cube(
         data,
         cards,
-        MachineSpec(p=args.p, backend=args.backend),
+        MachineSpec(p=args.p, backend=args.backend,
+                    sort_kernel=args.sort_kernel),
         CubeConfig(agg=args.agg),
         selected=None,
         faults=faults,
@@ -159,7 +160,10 @@ def cmd_demo(args: argparse.Namespace) -> int:
     spec = paper_preset(10_000, seed=1)
     data = generate_dataset(spec)
     cube = build_data_cube(
-        data, spec.cardinalities, MachineSpec(p=args.p, backend=args.backend)
+        data,
+        spec.cardinalities,
+        MachineSpec(p=args.p, backend=args.backend,
+                    sort_kernel=args.sort_kernel),
     )
     print(cube.describe())
     print("phase breakdown:")
@@ -188,6 +192,12 @@ def main(argv: list[str] | None = None) -> int:
     p_build.add_argument("--dims", type=int, default=None)
     p_build.add_argument("--agg", default="sum",
                          choices=("sum", "count", "min", "max"))
+    p_build.add_argument("--sort-kernel", default="auto",
+                         choices=("auto", "argsort", "radix", "segmented",
+                                  "presorted"),
+                         help="host sort kernel for packed-key sorts "
+                              "(auto = calibrated cost model; outputs and "
+                              "simulated metering are kernel-independent)")
     p_build.add_argument("--seed", type=int, default=0xC0FFEE)
     p_build.add_argument("--out", default=None, help="store directory")
     p_build.add_argument("--from-csv", default=None,
@@ -229,6 +239,9 @@ def main(argv: list[str] | None = None) -> int:
     p_demo.add_argument("--p", type=int, default=8)
     p_demo.add_argument("--backend", default="thread",
                         choices=("thread", "process"))
+    p_demo.add_argument("--sort-kernel", default="auto",
+                        choices=("auto", "argsort", "radix", "segmented",
+                                 "presorted"))
     p_demo.set_defaults(fn=cmd_demo)
 
     args = parser.parse_args(argv)

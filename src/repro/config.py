@@ -92,6 +92,14 @@ class MachineSpec:
     #: the thread backend has always imposed.  ``False`` restores
     #: copy-on-decode.  Ignored by the thread backend.
     shm_zero_copy: bool = True
+    #: Host sort kernel used for every packed-key sort: ``"auto"`` (the
+    #: calibrated cost model picks per call), ``"argsort"``, ``"radix"``,
+    #: ``"segmented"`` or ``"presorted"`` — see
+    #: :mod:`repro.storage.sortkernels`.  Kernels change *host* wall-clock
+    #: only; outputs, ``charge_sort`` metering and disk-block accounting
+    #: are bit-identical across kernels.  The ``REPRO_SORT_KERNEL``
+    #: environment variable overrides this (CI forces each kernel in turn).
+    sort_kernel: str = "auto"
     #: Multiplier from measured Python CPU seconds to simulated seconds.
     #: Host CPU is a *minor* term of the model (see the work-charge
     #: constants below, which carry the deterministic per-row costs);
@@ -140,6 +148,13 @@ class MachineSpec:
             )
         if self.bytes_per_row < 1:
             raise ValueError("bytes_per_row must be >= 1")
+        from repro.storage.sortkernels import KERNEL_NAMES
+
+        if self.sort_kernel not in KERNEL_NAMES:
+            raise ValueError(
+                f"unknown sort_kernel: {self.sort_kernel!r} "
+                f"(expected one of {KERNEL_NAMES})"
+            )
 
     def with_processors(self, p: int) -> "MachineSpec":
         """Return a copy of this spec with a different processor count."""
@@ -191,6 +206,12 @@ class CubeConfig:
     #: result is identical; the sort input shrinks from n/p raw rows to
     #: the previous root's (smaller) row count.
     incremental_roots: bool = False
+    #: Give Pipesort phase 1's ``sort_cost`` a shared-prefix discount so
+    #: the matcher prefers sort parents whose order shares a leading
+    #: prefix with the child — exactly the re-sorts the segmented kernel
+    #: accelerates.  On by default; disable for the paper-faithful cost
+    #: model (the paper's Pipesort has no such term).
+    sort_prefix_discount: bool = True
     #: Aggregate function applied to the measure column.
     agg: str = "sum"
 

@@ -33,7 +33,7 @@ def prepare_measure(relation: Relation, agg: str) -> tuple[Relation, str]:
     """
     if agg == "count":
         return (
-            Relation(relation.dims, np.ones(relation.nrows)),
+            Relation(relation.dims, np.ones(relation.nrows, dtype=np.float64)),
             "sum",
         )
     if agg not in SUPPORTED_AGGS:

@@ -197,19 +197,18 @@ def _rank_program(
             # piece of the global D(prev_i)-root; dropping its leading
             # dims and re-aggregating yields a valid local piece of the
             # Di-root (aggregation is associative), from far fewer rows
-            # than the raw chunk.
+            # than the raw chunk.  remap() projects the packed keys in
+            # pure int64 arithmetic — no (n, d) code materialisation.
             prev_codec = codec_for_order(prev_root.order, cards)
-            prev_dims = prev_codec.unpack(prev_root.keys)
-            keep = [
-                pos for pos, dim in enumerate(prev_root.order) if dim >= i
-            ]
-            reorder = sorted(keep, key=lambda pos: prev_root.order[pos])
             codec = codec_for_order(root_order, cards)
-            keys = codec.pack(prev_dims[:, reorder])
+            keys, _ = prev_codec.remap(
+                prev_root.keys, prev_root.order, root_order
+            )
             comm.disk.charge_scan(prev_root.nrows)
             comm.disk.work.charge_scan(prev_root.nrows)
             keys, measure = external_sort(
-                keys, prev_root.measure, comm.disk, memory_budget
+                keys, prev_root.measure, comm.disk, memory_budget,
+                key_bound=codec.capacity,
             )
         else:
             codec = codec_for_order(root_order, cards)
@@ -217,7 +216,8 @@ def _rank_program(
             comm.disk.charge_scan(raw.nrows)  # read the raw chunk
             comm.disk.work.charge_scan(raw.nrows)  # pack
             keys, measure = external_sort(
-                keys, raw.measure, comm.disk, memory_budget
+                keys, raw.measure, comm.disk, memory_budget,
+                key_bound=codec.capacity,
             )
         comm.disk.work.charge_scan(keys.shape[0])
         keys, measure = aggregate_sorted_keys(keys, measure, agg)  # 1a
@@ -308,21 +308,29 @@ def _to_canonical_order(
     """Re-sort one view piece into its canonical attribute order.
 
     Keys stay unique (the piece was already aggregated), so no collapse is
-    needed — only the unpack / re-pack / external sort, whose disk and CPU
-    cost is precisely the local-tree penalty.
+    needed — only a packed-key remap plus the external sort, whose disk
+    and CPU cost is precisely the local-tree penalty.  The remap reports
+    the shared-prefix length: the sort runs through the segmented kernel
+    on the prefix-clustering promise, and when the canonical order equals
+    the pipeline order up to an already-sorted remap the kernel's
+    single-pass presorted check skips the re-sort compute entirely
+    (metering is unchanged either way).
     """
     canon = data.view
     if tuple(data.order) == canon:
         return data
     codec = codec_for_order(data.order, cards)
-    dims = codec.unpack(data.keys)
-    col_of = {dim: pos for pos, dim in enumerate(data.order)}
-    cols = [col_of[dim] for dim in canon]
     canon_codec = codec_for_order(canon, cards)
-    keys = canon_codec.pack(dims[:, cols]) if cols else data.keys * 0
+    keys, shared = codec.remap(data.keys, tuple(data.order), canon)
+    seg_divisor = None
+    if 0 < shared < len(canon):
+        seg_divisor = int(canon_codec.weights[shared - 1])
     disk.charge_scan(data.nrows)  # read the stored view back
     disk.work.charge_scan(data.nrows)
-    keys, measure = external_sort(keys, data.measure, disk, memory_budget)
+    keys, measure = external_sort(
+        keys, data.measure, disk, memory_budget,
+        key_bound=canon_codec.capacity, seg_divisor=seg_divisor,
+    )
     disk.charge_store(data.nrows)  # re-write in the common order
     return ViewData(canon, keys, measure)
 
@@ -352,7 +360,10 @@ def _build_tree(
                 root_data, root_order, cards, pviews, comm.size,
                 estimate_method,
             )
-            tree = build_schedule_tree(pviews, root, estimates, root_order)
+            tree = build_schedule_tree(
+                pviews, root, estimates, root_order,
+                prefix_discount=config.sort_prefix_discount,
+            )
         else:
             # Partial cube (Section 3): the scheduler of [4] produces
             # either a subtree of the full-cube Pipesort tree or a tree
@@ -369,7 +380,8 @@ def _build_tree(
                 wanted, root, estimates, root_order
             )
             full_tree = build_schedule_tree(
-                full_views, root, estimates, root_order
+                full_views, root, estimates, root_order,
+                prefix_discount=config.sort_prefix_discount,
             )
             pruned = prune_full_tree(full_tree, wanted)
             tree = min(

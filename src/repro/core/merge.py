@@ -179,9 +179,11 @@ def merge_partitions(
         # generic PSRS offset.  agg=...: collapse before the balance test,
         # so γ bounds the *stored* rows of each view and the positional
         # shift can never split a group (see sample_sort module docs).
+        # kernel="presorted": each item is a sorted view piece, so the
+        # local-sort step degenerates to one early-exit sortedness scan.
         outcomes = batched_sample_sort(
             comm, items, config.gamma_merge, pivot_offset=0,
-            agg=config.agg,
+            agg=config.agg, kernel="presorted",
         )
         for idx, outcome in zip(case3_idx, outcomes):
             view = nonprefix[idx]

@@ -68,10 +68,20 @@ def scan_cost(parent_size: float) -> float:
     return max(parent_size, 1.0)
 
 
-def sort_cost(parent_size: float) -> float:
-    """Cost of re-sorting ``parent`` to produce a child: ``s·(1+log2 s)``."""
+def sort_cost(parent_size: float, prefix_segments: float | None = None) -> float:
+    """Cost of re-sorting ``parent`` to produce a child: ``s·(1+log2 s)``.
+
+    ``prefix_segments`` is the estimated number of equal-shared-prefix
+    segments when the child's target order shares a leading prefix with
+    the parent's order.  The parent is then already clustered into that
+    many independently sortable runs, so the comparison term drops from
+    ``log2 s`` to ``log2 (s/segments)`` — the discount the segmented
+    sort kernel realises at execution time.
+    """
     s = max(parent_size, 1.0)
-    return s * (1.0 + math.log2(max(s, 2.0)))
+    if prefix_segments is None or prefix_segments <= 1.0:
+        return s * (1.0 + math.log2(max(s, 2.0)))
+    return s * (1.0 + math.log2(max(s / prefix_segments, 2.0)))
 
 
 # ---------------------------------------------------------------------------
@@ -274,6 +284,7 @@ def build_schedule_tree(
     root: View,
     estimates: Mapping[View, float],
     root_order: tuple[int, ...] | None = None,
+    prefix_discount: bool = False,
 ) -> ScheduleTree:
     """Pipesort phase 1 over a *level-complete* view set.
 
@@ -290,6 +301,12 @@ def build_schedule_tree(
         Estimated row counts per view (drives edge costs only).
     root_order:
         The root's fixed sort order; defaults to its canonical order.
+    prefix_discount:
+        Discount sort edges whose child order shares a leading prefix
+        with the (predicted) parent order, steering the matcher toward
+        parents the segmented sort kernel can exploit.  Off by default —
+        the paper's cost model has no such term; cube builds switch it
+        on via ``CubeConfig.sort_prefix_discount``.
     """
     root = canonical_view(root)
     if root_order is None:
@@ -319,10 +336,36 @@ def build_schedule_tree(
                 f"level {k} views have no level-{k + 1} parents; "
                 "use repro.core.partial for gappy view sets"
             )
-        _match_level(tree, children, parents, estimates, pinned)
+        _match_level(
+            tree, children, parents, estimates, pinned, prefix_discount
+        )
 
     tree.assign_orders()
     return tree
+
+
+def _prefix_segments(
+    child: View,
+    parent: View,
+    pinned: dict[View, tuple[int, ...]],
+    estimates: Mapping[View, float],
+) -> float | None:
+    """Predicted equal-prefix segment count for sorting ``parent → child``.
+
+    The matcher runs before orders are assigned, so it predicts: the
+    parent keeps its pinned order (root chain) or its canonical order,
+    and a sort child is produced in its canonical order.  The number of
+    segments the segmented kernel would see is the row count of the view
+    over the shared leading dims — exactly what ``estimates`` holds.
+    """
+    parent_order = pinned.get(parent, parent)
+    k = 0
+    limit = min(len(child), len(parent_order))
+    while k < limit and child[k] == parent_order[k]:
+        k += 1
+    if k == 0:
+        return None
+    return estimates.get(child[:k])
 
 
 def _match_level(
@@ -331,6 +374,7 @@ def _match_level(
     parents: Sequence[View],
     estimates: Mapping[View, float],
     pinned: dict[View, tuple[int, ...]],
+    prefix_discount: bool = False,
 ) -> None:
     """Assign every child a parent + mode via the scan-saving matching."""
     n_c, n_p = len(children), len(parents)
@@ -344,7 +388,14 @@ def _match_level(
     for ci, vset in enumerate(child_sets):
         for pi, uset in enumerate(parent_sets):
             if vset < uset:
-                cost = sort_cost(psize[pi])
+                segments = (
+                    _prefix_segments(
+                        children[ci], parents[pi], pinned, estimates
+                    )
+                    if prefix_discount
+                    else None
+                )
+                cost = sort_cost(psize[pi], segments)
                 if cost < base_cost[ci]:
                     base_cost[ci] = cost
                     base_parent[ci] = pi
@@ -418,7 +469,6 @@ def execute_schedule(
     for node in tree.preorder():
         parent_data = results[node.view]
         parent_codec = codec_for_order(node.order, cardinalities)
-        parent_dims = None  # lazily unpacked, shared across sort children
         for child_view in node.children:
             child = tree.nodes[child_view]
             if child.mode == "scan":
@@ -427,13 +477,11 @@ def execute_schedule(
                     parent_data, parent_codec, len(child.order), agg
                 )
             else:
-                if parent_dims is None:
-                    parent_dims = parent_codec.unpack(parent_data.keys)
                 disk.charge_scan(parent_data.nrows)
                 disk.work.charge_scan(parent_data.nrows)  # project + re-pack
                 keys, measure = _produce_sort(
                     parent_data,
-                    parent_dims,
+                    parent_codec,
                     node.order,
                     child.order,
                     cardinalities,
@@ -462,7 +510,7 @@ def _produce_scan(
 
 def _produce_sort(
     parent: ViewData,
-    parent_dims: np.ndarray,
+    parent_codec,
     parent_order: tuple[int, ...],
     child_order: tuple[int, ...],
     cardinalities: Sequence[int],
@@ -470,13 +518,25 @@ def _produce_sort(
     memory_budget: int,
     agg: str,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Re-sort production: project, pack under the child order, sort, collapse."""
-    col_of = {dim: pos for pos, dim in enumerate(parent_order)}
-    cols = [col_of[dim] for dim in child_order]
+    """Re-sort production: remap keys to the child order, sort, collapse.
+
+    ``KeyCodec.remap`` projects + re-packs in pure int64 arithmetic (no
+    ``(n, d)`` code materialisation) and reports the shared-prefix length
+    with the parent order; the parent being sorted means the remapped
+    keys are clustered by that prefix, which the segmented sort kernel
+    exploits via ``seg_divisor``.
+    """
     child_codec = codec_for_order(child_order, cardinalities)
-    if cols:
-        keys = child_codec.pack(parent_dims[:, cols])
-    else:
-        keys = np.zeros(parent.nrows, dtype=np.int64)
-    keys, measure = external_sort(keys, parent.measure, disk, memory_budget)
+    keys, shared = parent_codec.remap(parent.keys, parent_order, child_order)
+    seg_divisor = None
+    if 0 < shared < len(child_order):
+        seg_divisor = int(child_codec.weights[shared - 1])
+    keys, measure = external_sort(
+        keys,
+        parent.measure,
+        disk,
+        memory_budget,
+        key_bound=child_codec.capacity,
+        seg_divisor=seg_divisor,
+    )
     return aggregate_sorted_keys(keys, measure, agg)

@@ -31,6 +31,7 @@ from repro.mpi.comm import Comm
 from repro.storage.disk import LocalDisk
 from repro.storage.external_sort import external_sort
 from repro.storage.scan import aggregate_sorted_keys, merge_sorted
+from repro.storage.sortkernels import sort_pairs
 
 __all__ = ["SortOutcome", "adaptive_sample_sort", "relative_imbalance"]
 
@@ -79,6 +80,8 @@ def adaptive_sample_sort(
     disk: LocalDisk | None = None,
     memory_budget: int | None = None,
     pivot_offset: int | None = None,
+    kernel: str | None = None,
+    key_bound: int | None = None,
 ) -> SortOutcome:
     """Globally sort ``(keys, measure)`` rows across all ranks.
 
@@ -98,6 +101,10 @@ def adaptive_sample_sort(
     globally sorted — the merge phase's case-3 re-sorts — because the
     ``⌊p/2⌋`` offset then lands every pivot mid-bucket and needlessly moves
     ~half of all rows between ranks.
+
+    ``kernel``/``key_bound`` are forwarded to the local-sort kernel
+    (:func:`repro.storage.sortkernels.sort_pairs`); they change host
+    wall-clock only — output and metering are kernel-invariant.
     """
     p = comm.size
     keys = np.ascontiguousarray(keys, dtype=np.int64)
@@ -107,11 +114,13 @@ def adaptive_sample_sort(
 
     # Step 1: local sort + p local pivots at ranks 0, n/p, ..., (p-1)n/p.
     if disk is not None and memory_budget is not None:
-        keys, measure = external_sort(keys, measure, disk, memory_budget)
+        keys, measure = external_sort(
+            keys, measure, disk, memory_budget,
+            kernel=kernel, key_bound=key_bound,
+        )
     else:
         comm.disk.work.charge_sort(keys.shape[0])
-        order = np.argsort(keys, kind="stable")
-        keys, measure = keys[order], measure[order]
+        keys, measure = sort_pairs(keys, measure, kernel, key_bound=key_bound)
     n_local = keys.shape[0]
     if n_local:
         pivot_idx = (np.arange(p, dtype=np.int64) * n_local) // p
@@ -172,6 +181,7 @@ def batched_sample_sort(
     gamma: float,
     pivot_offset: int | None = None,
     agg: str | None = None,
+    kernel: str | None = None,
 ) -> list[SortOutcome]:
     """Adaptive-Sample-Sort of many independent arrays in one superstep set.
 
@@ -190,6 +200,10 @@ def batched_sample_sort(
     paper's "each view evenly distributed" output condition is about.
     Value-bucketing guarantees each key lives on one rank at that point,
     so the positional shift can never split a group.
+
+    ``kernel`` forces the local-sort kernel for every item — the merge's
+    case-3 caller passes ``"presorted"`` because its pieces are sorted
+    view slices, turning step 1 into a single early-exit scan per item.
     """
     p = comm.size
     n_items = len(items)
@@ -203,8 +217,7 @@ def batched_sample_sort(
         keys = np.ascontiguousarray(keys, dtype=np.int64)
         measure = np.ascontiguousarray(measure, dtype=np.float64)
         comm.disk.work.charge_sort(keys.shape[0])
-        order = np.argsort(keys, kind="stable")
-        keys, measure = keys[order], measure[order]
+        keys, measure = sort_pairs(keys, measure, kernel)
         sorted_items.append((keys, measure))
         n_local = keys.shape[0]
         if n_local:

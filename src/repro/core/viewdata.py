@@ -22,16 +22,15 @@ import numpy as np
 
 from repro.core.views import View, canonical_view
 from repro.storage.codec import KeyCodec
+from repro.storage.sortkernels import is_sorted_int64
 from repro.storage.table import Relation
 
 __all__ = ["ViewData", "codec_for_order"]
 
 
 @lru_cache(maxsize=1024)
-def _cached_codec(
-    order: tuple[int, ...], cards: tuple[int, ...]
-) -> KeyCodec:
-    return KeyCodec([cards[i] for i in order])
+def _cached_codec(selected_cards: tuple[int, ...]) -> KeyCodec:
+    return KeyCodec(selected_cards)
 
 
 def codec_for_order(
@@ -39,14 +38,17 @@ def codec_for_order(
 ) -> KeyCodec:
     """Key codec for an attribute permutation over the global dims.
 
-    Cached on ``(order, cardinalities)``: the hot paths
+    Cached on the *selected* cardinalities ``cards[i] for i in order`` —
+    the only inputs the codec depends on — so codecs are shared across
+    runs/datasets that differ in unused dimensions, and across distinct
+    orders that select the same cardinality sequence.  The hot paths
     (``execute_schedule``, merge re-sorts, ``to_relation``) request the
     same handful of codecs thousands of times per run.  The returned
-    codec is shared — treat it as immutable.
+    codec is shared — treat it as immutable (its internal remap-plan
+    cache keys on full src/dst orders, so sharing is safe).
     """
     return _cached_codec(
-        tuple(int(i) for i in order),
-        tuple(int(c) for c in cardinalities),
+        tuple(int(cardinalities[int(i)]) for i in order)
     )
 
 
@@ -87,7 +89,9 @@ class ViewData:
         return self.keys.nbytes + self.measure.nbytes
 
     def is_sorted(self) -> bool:
-        return bool(np.all(self.keys[1:] >= self.keys[:-1]))
+        """Single-pass, early-exit sortedness check (no temporaries of
+        ``nrows`` size — see :func:`repro.storage.sortkernels.is_sorted_int64`)."""
+        return is_sorted_int64(self.keys)
 
     @staticmethod
     def empty(order: Sequence[int]) -> "ViewData":

@@ -11,9 +11,18 @@ from repro.storage.codec import KeyCodec
 from repro.storage.disk import DiskStats, LocalDisk
 from repro.storage.external_sort import external_sort
 from repro.storage.scan import aggregate_sorted_keys, collapse_adjacent
+from repro.storage.sortkernels import (
+    KERNEL_NAMES,
+    force_kernel,
+    get_default_kernel,
+    is_sorted_int64,
+    set_default_kernel,
+    sort_pairs,
+)
 from repro.storage.table import Relation
 
 __all__ = [
+    "KERNEL_NAMES",
     "KeyCodec",
     "DiskStats",
     "LocalDisk",
@@ -21,4 +30,9 @@ __all__ = [
     "aggregate_sorted_keys",
     "collapse_adjacent",
     "external_sort",
+    "force_kernel",
+    "get_default_kernel",
+    "is_sorted_int64",
+    "set_default_kernel",
+    "sort_pairs",
 ]

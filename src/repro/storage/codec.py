@@ -43,6 +43,8 @@ class KeyCodec:
         if (cards < 1).any():
             raise ValueError(f"cardinalities must be >= 1, got {cards.tolist()}")
         self.cardinalities = cards
+        #: (src_order, dst_order) -> precomputed remap plan (see remap()).
+        self._remap_plans: dict = {}
         self.width = len(cards)
         # weights[i] = product of cardinalities of the less significant
         # columns, so key = sum_i dims[:, i] * weights[i].
@@ -87,6 +89,98 @@ class KeyCodec:
         for i in range(self.width):
             out[:, i], rem = np.divmod(rem, self.weights[i])
         return out
+
+    def _remap_plan(
+        self, src_order: tuple[int, ...], dst_order: tuple[int, ...]
+    ):
+        """Build (and cache) the digit-extraction plan for one remap."""
+        plan = self._remap_plans.get((src_order, dst_order))
+        if plan is not None:
+            return plan
+        if len(src_order) != self.width:
+            raise ValueError(
+                f"src_order {src_order} has {len(src_order)} dims but this "
+                f"codec packs {self.width}"
+            )
+        pos = {dim: p for p, dim in enumerate(src_order)}
+        if len(pos) != len(src_order):
+            raise ValueError(f"src_order {src_order} repeats a dimension")
+        if len(set(dst_order)) != len(dst_order):
+            raise ValueError(f"dst_order {dst_order} repeats a dimension")
+        missing = [dim for dim in dst_order if dim not in pos]
+        if missing:
+            raise ValueError(
+                f"dst_order dims {missing} not present in src_order "
+                f"{src_order}"
+            )
+        shared = 0
+        limit = min(len(src_order), len(dst_order))
+        while shared < limit and src_order[shared] == dst_order[shared]:
+            shared += 1
+        # Destination weights over the selected (permuted) cardinalities.
+        dst_cards = [int(self.cardinalities[pos[dim]]) for dim in dst_order]
+        dst_weights = [1] * len(dst_order)
+        for j in range(len(dst_order) - 2, -1, -1):
+            dst_weights[j] = dst_weights[j + 1] * dst_cards[j + 1]
+        # Per non-shared destination digit: (src divisor, radix, dst weight).
+        steps = [
+            (
+                int(self.weights[pos[dim]]),
+                int(self.cardinalities[pos[dim]]),
+                dst_weights[j],
+            )
+            for j, dim in enumerate(dst_order)
+            if j >= shared
+        ]
+        prefix_div = int(self.weights[shared - 1]) if shared else 0
+        prefix_mul = dst_weights[shared - 1] if shared else 0
+        plan = (shared, prefix_div, prefix_mul, steps)
+        self._remap_plans[(src_order, dst_order)] = plan
+        return plan
+
+    def remap(
+        self,
+        keys: np.ndarray,
+        src_order: Sequence[int],
+        dst_order: Sequence[int],
+    ) -> tuple[np.ndarray, int]:
+        """Re-encode keys packed under ``src_order`` into ``dst_order``.
+
+        ``self`` must be the codec of ``src_order`` (its cardinalities
+        aligned with that permutation); ``dst_order`` selects any subset
+        of ``src_order``'s dimensions in any order.  The conversion is
+        pure int64 arithmetic — one divmod per *non-shared* destination
+        digit against the cached mixed-radix weights — and never
+        materialises an ``(n, d)`` code array, unlike unpack → repack.
+
+        Returns ``(new_keys, shared_prefix_len)``.  The shared-prefix
+        length is the number of leading positions where the two orders
+        agree; because the suffix capacities on both sides multiply the
+        *same* remaining cardinality product per side, rows of a
+        src-sorted array stay clustered by the shared prefix — callers
+        route to the segmented sort kernel on that promise.
+        """
+        src_order = tuple(int(i) for i in src_order)
+        dst_order = tuple(int(i) for i in dst_order)
+        shared, prefix_div, prefix_mul, steps = self._remap_plan(
+            src_order, dst_order
+        )
+        keys = np.asarray(keys, dtype=np.int64)
+        if src_order == dst_order:
+            return keys.copy(), shared
+        if shared:
+            out = keys // prefix_div
+            if prefix_mul != 1:
+                out *= prefix_mul
+        else:
+            out = np.zeros(keys.shape[0], dtype=np.int64)
+        for divisor, radix, weight in steps:
+            digit = keys // divisor
+            digit %= radix
+            if weight != 1:
+                digit *= weight
+            out += digit
+        return out, shared
 
     def prefix_codec(self, k: int) -> "KeyCodec":
         """Codec over the first ``k`` columns only."""

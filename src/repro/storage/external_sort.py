@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.storage.disk import LocalDisk
 from repro.storage.scan import merge_sorted
+from repro.storage.sortkernels import sort_pairs
 from repro.storage.table import Relation
 
 __all__ = ["external_sort", "merge_fanin", "sort_cost_blocks"]
@@ -67,6 +68,9 @@ def external_sort(
     disk: LocalDisk,
     memory_budget: int,
     streaming: bool = False,
+    kernel: str | None = None,
+    key_bound: int | None = None,
+    seg_divisor: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Sort ``(keys, measure)`` rows by key, stable, charging disk traffic.
 
@@ -83,6 +87,14 @@ def external_sort(
         instead of whole-run loads during merge passes.  Identical output
         and near-identical block accounting; memory held during a merge
         stays at one block per input run.
+    kernel, key_bound, seg_divisor:
+        Sort-kernel hint and key-structure hints forwarded to
+        :func:`repro.storage.sortkernels.sort_pairs`.  Kernels only
+        change host wall-clock: the output, the ``charge_sort`` metering
+        and the block accounting are identical for every kernel (run
+        formation spills the same runs either way; a ``seg_divisor``
+        clustering promise holds on every contiguous slice of the
+        input, so run-formation chunks inherit it).
 
     Returns
     -------
@@ -98,18 +110,21 @@ def external_sort(
     n = keys.shape[0]
     disk.work.charge_sort(n)
     if n <= memory_budget:
-        order = np.argsort(keys, kind="stable")
-        return keys[order], measure[order]
+        return sort_pairs(
+            keys, measure, kernel,
+            key_bound=key_bound, seg_divisor=seg_divisor,
+        )
 
     # Run formation: m-row sorted runs spilled to local disk.
     tokens: list[str] = []
     rows: list[int] = []
     for start in range(0, n, memory_budget):
         stop = min(start + memory_budget, n)
-        order = np.argsort(keys[start:stop], kind="stable")
-        run = Relation(
-            keys[start:stop][order][:, None], measure[start:stop][order]
+        run_keys, run_measure = sort_pairs(
+            keys[start:stop], measure[start:stop], kernel,
+            key_bound=key_bound, seg_divisor=seg_divisor,
         )
+        run = Relation(run_keys[:, None], run_measure)
         tokens.append(disk.spill(run, hint="sortrun"))
         rows.append(stop - start)
 
