@@ -78,32 +78,56 @@ def cmd_build(args: argparse.Namespace) -> int:
             faults = FaultPlan.parse(args.faults)
         print(f"fault plan: {faults.describe()}")
     recovery = None
-    if faults is not None or args.max_retries is not None:
+    if faults is not None or args.max_retries is not None or args.degrade:
         from repro import RecoveryPolicy
 
         recovery = RecoveryPolicy(
-            max_retries=2 if args.max_retries is None else args.max_retries
+            max_retries=2 if args.max_retries is None else args.max_retries,
+            mode="degrade" if args.degrade else "restart",
+            min_ranks=args.min_ranks,
         )
+    machine = MachineSpec(
+        p=args.p,
+        backend=args.backend,
+        sort_kernel=args.sort_kernel,
+        heartbeat_interval=args.heartbeat,
+    )
     cube = build_data_cube(
         data,
         cards,
-        MachineSpec(p=args.p, backend=args.backend,
-                    sort_kernel=args.sort_kernel),
+        machine,
         CubeConfig(agg=args.agg),
         selected=None,
         faults=faults,
         checkpoint_dir=args.checkpoint_dir,
         recovery=recovery,
+        audit=args.audit,
     )
     print(cube.describe())
-    if cube.metrics.attempts > 1:
+    metrics = cube.metrics
+    if metrics.attempts > 1:
         print(
-            f"recovered: {cube.metrics.attempts - 1} failed attempt(s), "
-            f"{cube.metrics.recovered_seconds:.2f}s simulated re-execution"
+            f"recovered: {metrics.attempts - 1} failed attempt(s) "
+            f"({metrics.transient_retries} transient retr"
+            f"{'y' if metrics.transient_retries == 1 else 'ies'}), "
+            f"{metrics.recovered_seconds:.2f}s simulated re-execution"
+        )
+    if metrics.ranks_lost:
+        lost = ", ".join(str(r) for r in metrics.ranks_lost)
+        print(
+            f"degraded: lost rank(s) {lost} permanently; finished at "
+            f"p={metrics.final_width} of {args.p}"
         )
     if args.out:
         CubeStore.save(cube, args.out)
         print(f"stored at {args.out}")
+    if metrics.audit is not None:
+        if metrics.audit["ok"]:
+            print(f"audit: OK ({len(metrics.audit['checks'])} checks)")
+        else:
+            issues = "; ".join(metrics.audit["issues"])
+            print(f"audit: FAILED ({issues})")
+            return 1
     return 0
 
 
@@ -217,6 +241,19 @@ def main(argv: list[str] | None = None) -> int:
     p_build.add_argument("--max-retries", type=int, default=None,
                          help="restarts allowed on rank failure "
                               "(default 2 when --faults is given)")
+    p_build.add_argument("--degrade", action="store_true",
+                         help="survive permanent rank loss: blacklist the "
+                              "dead rank, reshard its checkpointed state "
+                              "and finish at reduced width")
+    p_build.add_argument("--min-ranks", type=int, default=1,
+                         help="lowest width --degrade may fall to before "
+                              "giving up (default 1)")
+    p_build.add_argument("--heartbeat", type=float, default=0.25,
+                         help="supervisor liveness-poll interval in "
+                              "seconds (process backend)")
+    p_build.add_argument("--audit", action="store_true",
+                         help="run the post-build integrity audit; a "
+                              "failed audit exits non-zero")
     p_build.set_defaults(fn=cmd_build)
 
     p_info = sub.add_parser("info", help="describe a stored cube")

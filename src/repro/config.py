@@ -118,6 +118,24 @@ class MachineSpec:
     scan_sec_per_row: float = 2.0e-7
     #: Bytes per relation row, for cost conversions.
     bytes_per_row: int = BYTES_PER_ROW_DEFAULT
+    #: Supervision: how often (real seconds) the process backend's
+    #: coordinator probes a silent worker's liveness while waiting for its
+    #: next superstep message.  Protocol messages double as heartbeats, so
+    #: a healthy worker is never probed; the interval only bounds how fast
+    #: a SIGKILLed worker is detected.
+    heartbeat_interval: float = 0.25
+    #: Supervision: real seconds of pipe silence after which a *live*
+    #: worker is declared a hung straggler (:class:`~repro.mpi.errors.
+    #: RankHung`, a transient failure).  ``None`` falls back to the
+    #: resolved barrier timeout — long compute between collectives never
+    #: false-triggers by default.
+    suspect_after: float | None = None
+    #: Upper bound (real seconds) on how long one rank waits for its peers
+    #: before the run is declared wedged, on both backends.  ``None`` uses
+    #: the module default (600 s); the ``REPRO_BARRIER_TIMEOUT`` env var
+    #: overrides everything (see
+    #: :func:`repro.mpi.comm.resolve_barrier_timeout`).
+    barrier_timeout: float | None = None
 
     def __post_init__(self) -> None:
         if self.p < 1:
@@ -148,6 +166,12 @@ class MachineSpec:
             )
         if self.bytes_per_row < 1:
             raise ValueError("bytes_per_row must be >= 1")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.suspect_after is not None and self.suspect_after <= 0:
+            raise ValueError("suspect_after must be positive (or None)")
+        if self.barrier_timeout is not None and self.barrier_timeout <= 0:
+            raise ValueError("barrier_timeout must be positive (or None)")
         from repro.storage.sortkernels import KERNEL_NAMES
 
         if self.sort_kernel not in KERNEL_NAMES:
@@ -247,14 +271,33 @@ class RecoveryPolicy:
     without one it re-executes from scratch.  Either way the failed
     attempts' committed simulated time, traffic and disk transfers are
     folded into the final metrics, so recovery cost is never hidden.
+
+    ``mode="degrade"`` adds elastic width reduction on *permanent* rank
+    loss (see :func:`repro.mpi.errors.classify_failure`): the dead rank is
+    blacklisted, its checkpointed state is resharded across the p' = p - k
+    survivors, and the build continues at width p'.  Transient failures
+    still retry at the current width, with an exponential backoff and a
+    fresh retry budget after every width change; a rank that exhausts the
+    transient budget is promoted to a permanent loss.  ``min_ranks`` is
+    the floor below which degradation gives up and re-raises.
     """
 
-    #: Restart attempts after the first failure (0 = fail immediately).
+    #: Same-width restart attempts per width (0 = no transient retries).
     max_retries: int = 2
-    #: Simulated seconds charged per restart, scaled linearly with the
-    #: attempt number (models failure detection + respawn on the paper's
-    #: cluster, e.g. an MPI job re-launch).
+    #: Base simulated seconds charged per restart (models failure
+    #: detection + respawn on the paper's cluster, e.g. an MPI job
+    #: re-launch).  Grows exponentially with the attempt number:
+    #: ``backoff_seconds * backoff_growth**(attempt - 1)``.
     backoff_seconds: float = 0.0
+    #: Exponential growth factor of the restart backoff.
+    backoff_growth: float = 2.0
+    #: ``"restart"`` retries every failure at full width (the PR-2
+    #: behaviour); ``"degrade"`` drops permanently lost ranks and
+    #: continues at reduced width.
+    mode: str = "restart"
+    #: Smallest width degrade mode may shrink to; losing a rank that
+    #: would drop below this floor re-raises the failure instead.
+    min_ranks: int = 1
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -263,10 +306,22 @@ class RecoveryPolicy:
             )
         if self.backoff_seconds < 0:
             raise ValueError("backoff_seconds must be non-negative")
+        if self.backoff_growth < 1.0:
+            raise ValueError("backoff_growth must be >= 1")
+        if self.mode not in ("restart", "degrade"):
+            raise ValueError(
+                f"unknown recovery mode: {self.mode!r} "
+                "(expected 'restart' or 'degrade')"
+            )
+        if self.min_ranks < 1:
+            raise ValueError(f"min_ranks must be >= 1, got {self.min_ranks}")
 
     def backoff_for(self, attempt: int) -> float:
-        """Simulated backoff charged before retry number ``attempt``."""
-        return self.backoff_seconds * attempt
+        """Simulated backoff charged before retry number ``attempt``
+        (exponential in the attempt index; attempt 1 pays the base)."""
+        if attempt < 1:
+            return 0.0
+        return self.backoff_seconds * self.backoff_growth ** (attempt - 1)
 
     def is_retryable(self, exc: BaseException) -> bool:
         # Imported lazily: repro.mpi.__init__ pulls in the engine, which
@@ -316,6 +371,21 @@ class RunResult:
     #: :meth:`repro.mpi.shm.DataPlane.stats`), aggregated over all worker
     #: ranks and attempts.  Empty for the thread backend.
     shm_pool: dict = field(default_factory=dict)
+    #: Ranks permanently lost (blacklisted) during a degraded-mode run,
+    #: in loss order, numbered in the width they died at.  Empty unless
+    #: ``RecoveryPolicy(mode="degrade")`` dropped someone.
+    ranks_lost: list[int] = field(default_factory=list)
+    #: Width the successful attempt ran at (== the spec's ``p`` unless
+    #: degraded-mode recovery shrank the cluster).  0 in results produced
+    #: by code paths that predate degradation (baselines).
+    final_width: int = 0
+    #: Same-width transient retries consumed across the whole run (every
+    #: width's budget counted; permanent losses are not included).
+    transient_retries: int = 0
+    #: Post-build integrity audit summary (see :func:`repro.core.audit.
+    #: audit_cube`): ``{"ok": bool, "checks": {...}, "issues": [...]}``.
+    #: ``None`` when the audit was not requested.
+    audit: dict | None = None
 
     def summary(self) -> str:
         """One-line human-readable summary."""
@@ -331,4 +401,12 @@ class RunResult:
                 f" [recovered after {self.attempts - 1} failed attempt(s), "
                 f"{self.recovered_seconds:.2f}s re-execution]"
             )
+        if self.ranks_lost:
+            lost = ",".join(str(r) for r in self.ranks_lost)
+            text += (
+                f" [degraded: lost rank(s) {lost}, "
+                f"finished at p={self.final_width}]"
+            )
+        if self.audit is not None:
+            text += " [audit: OK]" if self.audit.get("ok") else " [audit: FAILED]"
         return text

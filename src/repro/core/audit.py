@@ -1,0 +1,215 @@
+"""Post-build integrity audit of a constructed data cube.
+
+Recovery — and especially *degraded-mode* recovery, which reshards a dead
+rank's checkpointed rows across the survivors mid-build — must never be
+taken on faith: :func:`audit_cube` re-derives invariants every correct
+cube satisfies and reports which hold.  The checks are pure reads over
+the finished cube (no simulation state), so the audit can run after any
+build, clean or recovered:
+
+``view-totals``
+    Every SUM view aggregates *all* raw rows, so its measure total equals
+    the raw relation's measure total.  COUNT cubes are stored as SUM over
+    a ones-measure (see :mod:`repro.core.aggregate`), so the same check
+    verifies per-view COUNT totals equal the raw row count.  Skipped for
+    MIN/MAX cubes, whose totals are not invariant across group sizes.
+``row-monotonicity``
+    Dropping a dimension can only merge groups: a child view (one fewer
+    dimension) never has more rows than its parent, and no view has more
+    rows than the raw relation.
+``key-uniqueness``
+    After the Procedure-3 merge each group key of a view lives on exactly
+    one rank; duplicate keys across rank pieces mean a broken merge or a
+    bad reshard split.
+``piece-order``
+    Every rank piece is sorted non-decreasing in its packed keys — the
+    invariant all downstream scans and merges rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.viewdata import codec_for_order
+from repro.core.views import view_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cube import CubeResult
+    from repro.storage.table import Relation
+
+__all__ = ["AuditCheck", "AuditReport", "audit_cube"]
+
+#: Relative tolerance for measure-total comparisons.  Degraded builds
+#: re-group float partial sums, so exact equality only holds for
+#: integer-valued measures; for general floats this bounds the allowed
+#: associativity drift.
+_REL_TOL = 1e-9
+
+
+@dataclass
+class AuditCheck:
+    """Outcome of one audit invariant."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+
+@dataclass
+class AuditReport:
+    """All audit outcomes for one cube."""
+
+    checks: list[AuditCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    @property
+    def issues(self) -> list[str]:
+        return [f"{c.name}: {c.detail}" for c in self.checks if not c.ok]
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (stored on ``RunResult.audit``)."""
+        return {
+            "ok": self.ok,
+            "checks": {c.name: c.ok for c in self.checks},
+            "issues": self.issues,
+        }
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"audit: OK ({len(self.checks)} checks)"
+        return "audit: FAILED (" + "; ".join(self.issues) + ")"
+
+
+def audit_cube(
+    cube: "CubeResult", relation: "Relation | None" = None
+) -> AuditReport:
+    """Run every integrity check against ``cube``.
+
+    ``relation`` is the raw input (measure already prepared — for COUNT
+    cubes a ones column); when given, view totals are checked against the
+    raw total and row counts against the raw row count.  Without it the
+    totals check compares views against each other (the finest view
+    stands in for the raw total).
+    """
+    report = AuditReport()
+    views = cube.views
+    rows = {v: cube.view_rows(v) for v in views}
+
+    # -- view totals ------------------------------------------------------
+    if cube.agg == "sum":
+        totals = {
+            v: float(
+                sum(float(rv[v].measure.sum()) for rv in cube.rank_views)
+            )
+            for v in views
+        }
+        if relation is not None:
+            expected = float(np.asarray(relation.measure).sum())
+        else:
+            finest = max(views, key=len)
+            expected = totals[finest]
+        scale = max(abs(expected), 1.0)
+        bad = [
+            f"{view_name(v)}={totals[v]!r} (expected {expected!r})"
+            for v in views
+            if abs(totals[v] - expected) > _REL_TOL * scale
+        ]
+        report.checks.append(
+            AuditCheck(
+                "view-totals",
+                not bad,
+                "; ".join(bad[:4]) + ("..." if len(bad) > 4 else ""),
+            )
+        )
+    else:
+        report.checks.append(
+            AuditCheck(
+                "view-totals",
+                True,
+                f"skipped: totals are not invariant under {cube.agg!r}",
+            )
+        )
+
+    # -- row-count monotonicity up the lattice ----------------------------
+    viewset = set(views)
+    bad = []
+    for parent in views:
+        for drop in range(len(parent)):
+            child = parent[:drop] + parent[drop + 1:]
+            if child in viewset and rows[child] > rows[parent]:
+                bad.append(
+                    f"{view_name(child)} has {rows[child]} rows > parent "
+                    f"{view_name(parent)} with {rows[parent]}"
+                )
+    if relation is not None:
+        nraw = int(relation.nrows)
+        bad.extend(
+            f"{view_name(v)} has {rows[v]} rows > {nraw} raw rows"
+            for v in views
+            if rows[v] > nraw
+        )
+    report.checks.append(
+        AuditCheck(
+            "row-monotonicity",
+            not bad,
+            "; ".join(bad[:4]) + ("..." if len(bad) > 4 else ""),
+        )
+    )
+
+    # -- no duplicate group keys across rank pieces -----------------------
+    bad = []
+    for v in views:
+        keys = _canonical_keys(cube, v)
+        if keys.size != np.unique(keys).size:
+            dupes = keys.size - np.unique(keys).size
+            bad.append(
+                f"{view_name(v)} has {dupes} duplicate group key(s) "
+                "across rank pieces"
+            )
+    report.checks.append(
+        AuditCheck(
+            "key-uniqueness",
+            not bad,
+            "; ".join(bad[:4]) + ("..." if len(bad) > 4 else ""),
+        )
+    )
+
+    # -- every piece sorted ----------------------------------------------
+    bad = [
+        f"rank {j} piece of {view_name(v)} is not sorted"
+        for v in views
+        for j, rv in enumerate(cube.rank_views)
+        if not rv[v].is_sorted()
+    ]
+    report.checks.append(
+        AuditCheck(
+            "piece-order",
+            not bad,
+            "; ".join(bad[:4]) + ("..." if len(bad) > 4 else ""),
+        )
+    )
+    return report
+
+
+def _canonical_keys(cube: "CubeResult", view) -> np.ndarray:
+    """All ranks' packed keys of one view, remapped to canonical order."""
+    parts = []
+    for rv in cube.rank_views:
+        data = rv[view]
+        if not data.nrows:
+            continue
+        if tuple(data.order) == tuple(view):
+            parts.append(data.keys)
+        else:
+            codec = codec_for_order(data.order, cube.cardinalities)
+            keys, _ = codec.remap(data.keys, tuple(data.order), tuple(view))
+            parts.append(keys)
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(parts)

@@ -24,12 +24,23 @@ a rank checkpoints to *its own* local disk)::
 
 Integrity: every payload file's CRC-32 is recorded in the manifest and
 re-verified on load; the manifest itself is written atomically
-(tmp + rename).  A damaged or missing entry truncates the usable chain at
-the last intact iteration — :meth:`RankCheckpoint.last_complete` never
-returns an ordinal whose predecessors are not all loadable.  The recovery
-driver then agrees a *global* resume point via an ``allreduce(min)``
-across ranks, so every rank skips the same prefix of iterations and the
-collective schedule stays aligned.
+(tmp + rename) in a line-oriented format (one JSON header line + one JSON
+line per iteration) parsed *tolerantly*: a torn or corrupted tail line
+truncates the chain at the last intact entry instead of discarding the
+whole manifest.  A damaged or missing entry likewise truncates the usable
+chain — :meth:`RankCheckpoint.last_complete` never returns an ordinal
+whose predecessors are not all loadable.  The recovery driver then agrees
+a *global* resume point via an ``allreduce(min)`` across ranks, so every
+rank skips the same prefix of iterations and the collective schedule
+stays aligned.
+
+Degraded-mode recovery adds :class:`ReshardPlan`: when a rank is lost
+permanently, its checkpoint *directory* survives (the shared-nothing
+model's disk outlives the process — disk-attached recovery), so the
+survivors re-partition the dead rank's saved rows among themselves and
+continue at reduced width.  Each degrade event starts a fresh *epoch*
+directory; the resharded chains are re-saved there, keeping every epoch's
+chains self-sufficient so multiple failures compose.
 """
 
 from __future__ import annotations
@@ -38,14 +49,15 @@ import json
 import os
 import pickle
 import zlib
-from typing import Any
+from dataclasses import dataclass
+from typing import Any, Sequence
 
 from repro.mpi.errors import CheckpointError
 
-__all__ = ["RankCheckpoint"]
+__all__ = ["RankCheckpoint", "ReshardPlan", "share_bounds"]
 
 _MANIFEST = "manifest.json"
-_VERSION = 1
+_VERSION = 2
 
 
 class RankCheckpoint:
@@ -62,20 +74,53 @@ class RankCheckpoint:
         return os.path.join(self.dir, _MANIFEST)
 
     def _read_manifest(self) -> list[dict[str, Any]]:
+        """Parse the manifest tolerantly: stop at the first damaged line.
+
+        The v2 format is line-oriented (a JSON header line, then one JSON
+        object per iteration), so a torn tail — a partially flushed write,
+        appended garbage, a half-truncated last line — loses only the
+        entries at and after the damage, never the intact prefix.  The
+        legacy v1 single-document format is still readable (all-or-
+        nothing, as before).
+        """
         try:
             with open(self._manifest_path(), "r", encoding="utf-8") as fh:
-                doc = json.load(fh)
-        except (FileNotFoundError, json.JSONDecodeError, OSError):
+                lines = fh.read().splitlines()
+        except OSError:
             return []
-        if not isinstance(doc, dict) or doc.get("version") != _VERSION:
+        if not lines:
             return []
-        entries = doc.get("iterations", [])
-        return entries if isinstance(entries, list) else []
+        try:
+            head = json.loads(lines[0])
+        except json.JSONDecodeError:
+            return []
+        if not isinstance(head, dict):
+            return []
+        if head.get("version") == 1:
+            entries = head.get("iterations", [])
+            return entries if isinstance(entries, list) else []
+        if head.get("version") != _VERSION:
+            return []
+        entries = []
+        for line in lines[1:]:
+            line = line.strip()
+            if not line:
+                break
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn tail: keep the intact prefix
+            if not isinstance(entry, dict):
+                break
+            entries.append(entry)
+        return entries
 
     def _write_manifest(self, entries: list[dict[str, Any]]) -> None:
         tmp = self._manifest_path() + ".tmp"
         with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump({"version": _VERSION, "iterations": entries}, fh)
+            fh.write(json.dumps({"version": _VERSION}) + "\n")
+            for entry in entries:
+                fh.write(json.dumps(entry) + "\n")
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, self._manifest_path())
@@ -177,6 +222,93 @@ class RankCheckpoint:
                 "failed its CRC check"
             )
         return blob
+
+
+# ---------------------------------------------------------------------------
+# elastic resume
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReshardPlan:
+    """How the survivors of a permanent rank loss re-partition state.
+
+    After losing ``k`` ranks at width ``old_width``, the build restarts
+    at ``new_width = old_width - k``.  Every *new* rank ``j`` adopts the
+    checkpoint chain of old rank ``survivors[j]`` and additionally takes
+    a contiguous 1/new_width share (see :func:`share_bounds`) of every
+    dead rank's saved rows.  The merged prefix is re-saved under
+    ``target_root`` (a fresh epoch directory), so the new epoch's chains
+    are self-sufficient: a second loss reshards from the new epoch
+    without ever touching the old one again.
+
+    Reading a dead rank's chain models *disk-attached recovery*: in the
+    paper's shared-nothing cluster the node died but its disk did not.
+    """
+
+    #: Width the failed epoch ran at.
+    old_width: int
+    #: Width the next epoch runs at (``old_width - len(dead)``).
+    new_width: int
+    #: Old-numbering ranks lost permanently this epoch.
+    dead: tuple[int, ...]
+    #: ``survivors[j]`` = the old rank whose chain new rank ``j`` adopts.
+    survivors: tuple[int, ...]
+    #: Checkpoint root of the failed epoch (source chains, dead included).
+    source_root: str
+    #: Checkpoint root of the new epoch (resharded chains land here).
+    target_root: str
+
+    def __post_init__(self) -> None:
+        if self.new_width != self.old_width - len(self.dead):
+            raise ValueError(
+                f"inconsistent reshard: {self.old_width} -> "
+                f"{self.new_width} with {len(self.dead)} dead"
+            )
+        if len(self.survivors) != self.new_width:
+            raise ValueError(
+                f"need {self.new_width} survivors, got {len(self.survivors)}"
+            )
+        if set(self.survivors) & set(self.dead):
+            raise ValueError("a rank cannot be both survivor and dead")
+
+    @staticmethod
+    def after_loss(
+        width: int,
+        dead: Sequence[int],
+        source_root: str,
+        target_root: str,
+    ) -> "ReshardPlan":
+        """Plan the reshard after losing ``dead`` ranks at ``width``."""
+        dead_t = tuple(sorted(set(int(r) for r in dead)))
+        for r in dead_t:
+            if not 0 <= r < width:
+                raise ValueError(f"dead rank {r} outside width {width}")
+        survivors = tuple(r for r in range(width) if r not in dead_t)
+        return ReshardPlan(
+            old_width=width,
+            new_width=width - len(dead_t),
+            dead=dead_t,
+            survivors=survivors,
+            source_root=source_root,
+            target_root=target_root,
+        )
+
+
+def share_bounds(nrows: int, parts: int, index: int) -> tuple[int, int]:
+    """Contiguous ``[lo, hi)`` bounds of share ``index`` of ``nrows`` rows
+    split into ``parts`` near-equal pieces — the same arithmetic as
+    :func:`repro.core.cube.split_even`, without materialising slices.
+    Used to deal a dead rank's sorted rows out to the survivors while
+    preserving sortedness and key disjointness."""
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    if not 0 <= index < parts:
+        raise ValueError(f"share index {index} outside 0..{parts - 1}")
+    base, rem = divmod(int(nrows), parts)
+    lo = index * base + min(index, rem)
+    hi = lo + base + (1 if index < rem else 0)
+    return lo, hi
 
 
 def _payload_rows(payload: dict[str, Any]) -> int:

@@ -23,6 +23,7 @@ benchmark harness turns into the paper's figures.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
@@ -30,7 +31,7 @@ import numpy as np
 
 from repro.config import CubeConfig, MachineSpec, RecoveryPolicy, RunResult
 from repro.core.aggregate import prepare_measure
-from repro.core.checkpoint import RankCheckpoint
+from repro.core.checkpoint import RankCheckpoint, ReshardPlan, share_bounds
 from repro.core.estimate import estimate_view_sizes
 from repro.core.merge import MergeReport, merge_partitions
 from repro.core.partial import build_partial_schedule_tree, prune_full_tree
@@ -41,6 +42,7 @@ from repro.core.viewdata import ViewData, codec_for_order
 from repro.core.views import View, canonical_view, view_name
 from repro.mpi.comm import Comm
 from repro.mpi.engine import Cluster, ClusterResult
+from repro.mpi.errors import MPIError, classify_failure
 from repro.storage.external_sort import external_sort
 from repro.storage.scan import aggregate_sorted_keys
 from repro.storage.table import Relation
@@ -148,6 +150,7 @@ def _rank_program(
     estimate_method: str,
     memory_budget: int,
     checkpoint_root: str | None = None,
+    reshard: ReshardPlan | None = None,
 ):
     raw = chunks[comm.rank]
     d = len(cards)
@@ -169,7 +172,13 @@ def _rank_program(
     if checkpoint_root is not None:
         ckpt = RankCheckpoint(checkpoint_root, comm.rank)
         comm.set_phase("recovery")
-        resume = int(comm.allreduce(ckpt.last_complete(), "min"))
+        if reshard is None:
+            resume = int(comm.allreduce(ckpt.last_complete(), "min"))
+        else:
+            # Degraded continuation: fold the dead ranks' checkpointed
+            # state into this (new-numbering) rank's chain first, then
+            # agree on the resume point as usual.
+            resume = _reshard_resume(comm, ckpt, reshard)
 
     for ordinal, (i, root, pviews) in enumerate(partition_all(d, selected)):
         if ckpt is not None and ordinal <= resume:
@@ -297,6 +306,123 @@ def _rank_program(
             comm.disk.work.charge_scan(saved)
 
     return out_views, reports, trees
+
+
+# ---------------------------------------------------------------------------
+# elastic resume (degraded-mode recovery)
+# ---------------------------------------------------------------------------
+
+
+def _reshard_resume(
+    comm: Comm, ckpt: RankCheckpoint, plan: ReshardPlan
+) -> int:
+    """Materialise this rank's resharded checkpoint prefix; return the
+    global resume ordinal.
+
+    Every new rank adopts one survivor chain from the failed epoch and a
+    contiguous share of each dead rank's chain (the dead node's *disk*
+    survived — disk-attached recovery).  The combined payloads are
+    re-saved into this epoch's chain, so after this prologue the normal
+    replay loop needs no knowledge of the reshard at all, and the next
+    failure (of either kind) reshards from *this* epoch without touching
+    the old one.  Idempotent: ordinals already present in the target
+    chain are kept, and re-running the prologue reproduces identical
+    payloads (pure slicing + deterministic merge).
+    """
+    own_src = RankCheckpoint(plan.source_root, plan.survivors[comm.rank])
+    dead_chains = [RankCheckpoint(plan.source_root, r) for r in plan.dead]
+    source_last = own_src.last_complete()
+    for chain in dead_chains:
+        source_last = min(source_last, chain.last_complete())
+    local = max(ckpt.last_complete(), source_last)
+    resume = int(comm.allreduce(local, "min"))
+    for ordinal in range(ckpt.last_complete() + 1, resume + 1):
+        _reshard_iteration(comm, ckpt, own_src, dead_chains, plan, ordinal)
+    return resume
+
+
+def _reshard_iteration(
+    comm: Comm,
+    ckpt: RankCheckpoint,
+    own_src: RankCheckpoint,
+    dead_chains: list[RankCheckpoint],
+    plan: ReshardPlan,
+    ordinal: int,
+) -> None:
+    """Re-save one iteration: survivor payload + dead-rank shares.
+
+    All reads and the re-save are charged to this rank's disk meter —
+    recovering a dead node's state is real I/O, and the simulation pays
+    for it.  Reading a dead chain is charged in full (its disk was
+    re-attached to this rank for the read), matching the shared-nothing
+    model's recovery story.
+    """
+    payload, rows = own_src.load(ordinal)
+    comm.disk.charge_scan(rows)
+    comm.disk.work.charge_scan(rows)
+    views = dict(payload["views"])
+    extra: dict[View, list[ViewData]] = {}
+    root_extra: list[ViewData] = []
+    for chain in dead_chains:
+        dead_payload, dead_rows = chain.load(ordinal)
+        comm.disk.charge_scan(dead_rows)
+        comm.disk.work.charge_scan(dead_rows)
+        for v, data in dead_payload["views"].items():
+            piece = _share_slice(data, comm.rank, plan.new_width)
+            if piece.nrows:
+                extra.setdefault(v, []).append(piece)
+        dead_root = dead_payload.get("root")
+        if dead_root is not None:
+            piece = _share_slice(dead_root, comm.rank, plan.new_width)
+            if piece.nrows:
+                root_extra.append(piece)
+    merged = {
+        v: _merge_sorted_pieces([data, *extra.get(v, [])])
+        for v, data in views.items()
+    }
+    root = payload.get("root")
+    if root is not None and root_extra:
+        root = _merge_sorted_pieces([root, *root_extra])
+    entry = own_src.entry(ordinal)
+    dim = int(entry.get("dim", 0)) if entry else 0
+    saved = ckpt.save(
+        ordinal,
+        dim,
+        {
+            "views": merged,
+            "root": root,
+            "root_i": payload.get("root_i"),
+            "report": payload.get("report"),
+            "tree": payload.get("tree"),
+        },
+        meters={"phase": f"reshard[{dim}]"},
+    )
+    comm.disk.charge_store(saved)
+    comm.disk.work.charge_scan(saved)
+
+
+def _share_slice(data: ViewData, index: int, parts: int) -> ViewData:
+    """Contiguous share ``index`` of ``parts`` of one sorted piece."""
+    lo, hi = share_bounds(data.nrows, parts, index)
+    return ViewData(data.order, data.keys[lo:hi], data.measure[lo:hi])
+
+
+def _merge_sorted_pieces(pieces: list[ViewData]) -> ViewData:
+    """Merge sorted, key-disjoint pieces of one view into one sorted piece.
+
+    Pieces of a view held by different ranks after the Procedure-3 merge
+    never share a group key (each group lives on exactly one rank), so
+    the merge is a pure reorder — no aggregation — and is exact for every
+    aggregate function.
+    """
+    head = pieces[0]
+    live = [p for p in pieces if p.nrows]
+    if len(live) <= 1:
+        return live[0] if live else head
+    keys = np.concatenate([p.keys for p in live])
+    measure = np.concatenate([p.measure for p in live])
+    order = np.argsort(keys, kind="stable")
+    return ViewData(head.order, keys[order], measure[order])
 
 
 def _to_canonical_order(
@@ -435,6 +561,7 @@ def build_data_cube(
     faults=None,
     checkpoint_dir: str | None = None,
     recovery: RecoveryPolicy | None = None,
+    audit: bool = False,
 ) -> CubeResult:
     """Construct the (full or partial) data cube of ``relation`` in parallel.
 
@@ -475,6 +602,13 @@ def build_data_cube(
         ``None`` (default) propagates the first failure unchanged.  The
         failed attempts' committed simulated time / traffic / disk blocks
         are folded into the returned metrics, so recovery cost is honest.
+        With ``mode="degrade"`` a *permanent* rank loss (dead worker,
+        injected crash) blacklists the rank: its checkpointed state is
+        resharded across the survivors and the build continues at width
+        p - k (see :class:`~repro.core.checkpoint.ReshardPlan`).
+    audit:
+        Run the post-build integrity audit (:func:`repro.core.audit.
+        audit_cube`) and attach its summary to ``metrics.audit``.
 
     Returns
     -------
@@ -516,26 +650,45 @@ def build_data_cube(
     if internal_agg != config.agg:
         config = replace(config, agg=internal_agg)
 
-    chunks = split_even(relation, spec.p)
-    args = (chunks, cards, config, selected, estimate_method,
-            spec.memory_budget, checkpoint_dir)
-
     # Recovery loop.  Each attempt is a fresh cluster (fresh clock and
     # meters); a failed attempt's committed simulated time / traffic /
     # blocks are banked as "recovered_*" and folded into the final
     # metrics — the simulation honestly pays for re-execution, exactly as
     # the paper's cluster would.
+    #
+    # Failure handling splits by taxonomy (see classify_failure):
+    # *transient* failures retry at the current width with exponential
+    # backoff, *permanent* losses under RecoveryPolicy(mode="degrade")
+    # blacklist the culprit rank and continue at reduced width (resharding
+    # its checkpointed state across the survivors), and *fatal* ones —
+    # operator interrupts first among them — propagate untouched.
     attempt = 0
+    transient_streak = 0  # same-width failures since the last width change
+    transient_total = 0
     recovered_seconds = 0.0
     recovered_bytes = 0
     recovered_blocks = 0
+    width = spec.p
+    epoch = 0
+    ranks_lost: list[int] = []
+    run_root = checkpoint_dir
+    reshard: ReshardPlan | None = None
     while True:
+        run_spec = spec if width == spec.p else spec.with_processors(width)
+        chunks = split_even(relation, width)
+        args = (chunks, cards, config, selected, estimate_method,
+                spec.memory_budget, run_root, reshard)
         cluster = Cluster(
-            spec, disk_root=disk_root, faults=faults, attempt=attempt
+            run_spec, disk_root=disk_root, faults=faults, attempt=attempt
         )
         try:
             result = cluster.run(_rank_program, args)
             break
+        except (KeyboardInterrupt, SystemExit):
+            # Operator interrupts are not rank failures: re-raise
+            # immediately — never banked, never retried, and never
+            # consulted against the recovery policy.
+            raise
         except BaseException as exc:
             recovered_seconds += cluster.clock.sim_time
             recovered_bytes += cluster.stats.total_bytes
@@ -543,14 +696,53 @@ def build_data_cube(
                 d.stats.blocks_total for d in cluster.disks
             )
             attempt += 1
-            if (
-                recovery is None
-                or attempt > recovery.max_retries
-                or not recovery.is_retryable(exc)
-            ):
+            if recovery is None or not recovery.is_retryable(exc):
                 raise
+            if run_spec.backend == "process":
+                # A crashed attempt can leak shm segments (a SIGKILLed
+                # worker never reaches its plane teardown); reclaim them
+                # before the retry allocates its arena.
+                from repro.mpi import shm
+
+                shm.sweep_orphans()
+            kind, culprit = classify_failure(exc)
+            degrade = (
+                recovery.mode == "degrade"
+                and culprit is not None
+                and 0 <= culprit < width
+                and (
+                    kind == "permanent"
+                    or transient_streak >= recovery.max_retries
+                )
+            )
+            if degrade:
+                if width - 1 < max(recovery.min_ranks, 1):
+                    raise MPIError(
+                        f"cannot degrade below min_ranks="
+                        f"{recovery.min_ranks}: rank {culprit} lost at "
+                        f"width {width}"
+                    ) from exc
+                if run_root is not None:
+                    epoch += 1
+                    target = os.path.join(
+                        checkpoint_dir, f"epoch{epoch:02d}"
+                    )
+                    reshard = ReshardPlan.after_loss(
+                        width, [culprit], run_root, target
+                    )
+                    run_root = target
+                else:
+                    reshard = None
+                ranks_lost.append(culprit)
+                width -= 1
+                transient_streak = 0  # fresh retry budget at the new width
+            else:
+                transient_streak += 1
+                transient_total += 1
+                if transient_streak > recovery.max_retries:
+                    raise
             recovered_seconds += recovery.backoff_for(attempt)
-    return _assemble(
+    cube = _assemble(
         result,
         cards,
         config.agg,
@@ -558,7 +750,15 @@ def build_data_cube(
         recovered_seconds=recovered_seconds,
         recovered_bytes=recovered_bytes,
         recovered_blocks=recovered_blocks,
+        final_width=width,
+        ranks_lost=ranks_lost,
+        transient_retries=transient_total,
     )
+    if audit:
+        from repro.core.audit import audit_cube
+
+        cube.metrics.audit = audit_cube(cube, relation=relation).to_dict()
+    return cube
 
 
 def build_partial_cube(
@@ -584,6 +784,9 @@ def _assemble(
     recovered_seconds: float = 0.0,
     recovered_bytes: int = 0,
     recovered_blocks: int = 0,
+    final_width: int = 0,
+    ranks_lost: list[int] | None = None,
+    transient_retries: int = 0,
 ) -> CubeResult:
     rank_views = [result[0] for result in cluster.rank_results]
     reports = cluster.rank_results[0][1]
@@ -606,6 +809,9 @@ def _assemble(
         recovered_bytes=recovered_bytes,
         recovered_blocks=recovered_blocks,
         shm_pool=dict(cluster.shm_pool),
+        ranks_lost=list(ranks_lost or []),
+        final_width=final_width or len(rank_views),
+        transient_retries=transient_retries,
     )
     return CubeResult(
         rank_views=rank_views,

@@ -71,10 +71,22 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.mpi import shm
-from repro.mpi.comm import BARRIER_TIMEOUT_SEC, Comm, ThreadTransport
-from repro.mpi.errors import CollectiveMisuse, MPIError, RankFailure
+from repro.mpi.comm import Comm, ThreadTransport
+from repro.mpi.errors import (
+    CollectiveMisuse,
+    MPIError,
+    RankDead,
+    RankFailure,
+    RankHung,
+)
 
-__all__ = ["BACKENDS", "ProcessBackend", "ThreadBackend", "get_backend"]
+__all__ = [
+    "BACKENDS",
+    "ProcessBackend",
+    "Supervisor",
+    "ThreadBackend",
+    "get_backend",
+]
 
 #: How long failure cleanup waits for workers to exit on their own before
 #: terminating them.  Workers notice an abort at their next collective, so
@@ -293,13 +305,19 @@ def _encoded_segments(entry) -> list[str]:
 class _ProcessTransport:
     """Pipe+shared-memory transport of one worker process."""
 
-    def __init__(self, rank: int, size: int, conn, clock, disk, plane):
+    def __init__(
+        self, rank: int, size: int, conn, clock, disk, plane,
+        timeout: float | None = None,
+    ):
         self.rank = rank
         self.size = size
         self._conn = conn
         self._clock = clock
         self._disk = disk
         self._plane = plane
+        from repro.mpi.comm import resolve_barrier_timeout
+
+        self._timeout = resolve_barrier_timeout(timeout)
 
     def _send(self, msg) -> None:
         try:
@@ -311,7 +329,7 @@ class _ProcessTransport:
 
     def _recv(self):
         try:
-            if not self._conn.poll(BARRIER_TIMEOUT_SEC):
+            if not self._conn.poll(self._timeout):
                 raise RankFailure(
                     f"rank {self.rank}: timed out waiting for peers"
                 )
@@ -437,7 +455,10 @@ def _worker_main(
     )
     transport = cluster.transport_for(
         rank,
-        _ProcessTransport(rank, spec.p, conn, clock, disk, plane),
+        _ProcessTransport(
+            rank, spec.p, conn, clock, disk, plane,
+            timeout=cluster.barrier_timeout,
+        ),
     )
     comm = Comm(rank, spec.p, transport, clock, cluster.stats, disk)
     clock.rank_start(rank, disk.stats.blocks_total, disk.work.seconds)
@@ -485,6 +506,95 @@ def _worker_main(
 # ---------------------------------------------------------------------------
 # process backend: coordinator side
 # ---------------------------------------------------------------------------
+
+
+class Supervisor:
+    """Deadline-based liveness supervision of the process backend's workers.
+
+    Liveness has two signals, both piggybacked on the superstep protocol
+    rather than a separate ping channel:
+
+    * **Protocol messages as heartbeats** — any ``step``/``done``/``error``
+      message from a rank proves it alive; a healthy worker is never
+      probed and pays zero overhead.
+    * **OS-level probes while silent** — while a pipe is quiet the
+      supervisor polls in ``heartbeat_interval`` slices, checking the
+      worker process between slices.  A process that exited (or was
+      SIGKILLed) is reported as :class:`~repro.mpi.errors.RankDead` with
+      its exit code / signal — a *permanent* loss.  A process still alive
+      but silent past ``suspect_after`` is declared a hung straggler —
+      :class:`~repro.mpi.errors.RankHung`, a *transient* failure.
+
+    This replaces the old flat ``conn.poll(600)``: detection latency for
+    a dead rank drops from the barrier timeout to one heartbeat interval,
+    and the deadline for stragglers is a per-run knob instead of a
+    module constant.
+    """
+
+    def __init__(
+        self,
+        procs: Sequence,
+        heartbeat_interval: float = 0.25,
+        suspect_after: float = 600.0,
+    ):
+        self.procs = procs
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.suspect_after = float(suspect_after)
+
+    def await_message(self, conn, rank: int):
+        """Block until rank's next protocol message, supervising its
+        liveness; raises :class:`RankDead` / :class:`RankHung`."""
+        deadline = time.monotonic() + self.suspect_after
+        while True:
+            budget = min(
+                self.heartbeat_interval,
+                max(0.0, deadline - time.monotonic()),
+            )
+            try:
+                if conn.poll(budget):
+                    return conn.recv()
+            except (EOFError, OSError):
+                raise self.post_mortem(rank, "its pipe closed") from None
+            proc = self.procs[rank]
+            if not proc.is_alive():
+                # A worker that exited cleanly may have left a final
+                # message buffered; drain it before declaring death.
+                try:
+                    if conn.poll(0):
+                        continue
+                except (EOFError, OSError):
+                    pass
+                raise self.post_mortem(rank, "its process exited")
+            if time.monotonic() >= deadline:
+                raise RankHung(
+                    f"rank {rank} exceeded its {self.suspect_after:.1f}s "
+                    "superstep deadline (process alive: straggler declared "
+                    "hung)",
+                    rank=rank,
+                )
+
+    def post_mortem(self, rank: int, detail: str) -> RankDead:
+        """Describe a dead worker (exit code / fatal signal attached)."""
+        proc = self.procs[rank]
+        try:
+            proc.join(timeout=0.5)  # let the exit code settle
+            code = proc.exitcode
+        except Exception:  # pragma: no cover - defensive
+            code = None
+        if code is None:
+            cause = "exit status unknown"
+        elif code < 0:
+            import signal as _signal
+
+            try:
+                cause = f"killed by {_signal.Signals(-code).name}"
+            except ValueError:  # pragma: no cover - exotic signal
+                cause = f"killed by signal {-code}"
+        else:
+            cause = f"exit code {code}"
+        return RankDead(
+            f"rank {rank} worker process died: {detail} ({cause})", rank=rank
+        )
 
 
 class ProcessBackend:
@@ -558,6 +668,11 @@ class _Coordinator:
         self.procs = procs
         self.p = cluster.spec.p
         self.pooled = cluster.spec.shm_pool
+        self.supervisor = Supervisor(
+            procs,
+            heartbeat_interval=cluster.spec.heartbeat_interval,
+            suspect_after=cluster.suspect_after,
+        )
         # segment name -> (owner rank, ranks yet to release it)
         self._ledger: dict[str, tuple[int, set[int]]] = {}
         # owner rank -> segment names cleared for reuse
@@ -566,17 +681,10 @@ class _Coordinator:
     # -- plumbing ---------------------------------------------------------
 
     def _recv(self, rank: int):
-        conn = self.conns[rank]
         try:
-            if not conn.poll(BARRIER_TIMEOUT_SEC):
-                raise _Abort(
-                    MPIError(f"rank {rank} stopped responding (timeout)")
-                )
-            return conn.recv()
-        except (EOFError, OSError):
-            raise _Abort(
-                MPIError(f"rank {rank} worker process died unexpectedly")
-            ) from None
+            return self.supervisor.await_message(self.conns[rank], rank)
+        except (RankDead, RankHung) as verdict:
+            raise _Abort(verdict) from None
 
     def _broadcast(self, msg) -> None:
         for conn in self.conns:

@@ -23,6 +23,7 @@ way, matching the buffer-protocol fast path of mpi4py.
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Any, Callable, Protocol, Sequence
 
@@ -31,11 +32,44 @@ import numpy as np
 from repro.mpi.errors import CollectiveMisuse, RankFailure
 from repro.mpi.stats import payload_nbytes
 
-__all__ = ["BARRIER_TIMEOUT_SEC", "Comm", "ThreadTransport", "Transport"]
+__all__ = [
+    "BARRIER_TIMEOUT_SEC",
+    "Comm",
+    "ThreadTransport",
+    "Transport",
+    "resolve_barrier_timeout",
+]
 
-#: Upper bound on how long one rank waits for its peers before the run is
-#: declared wedged.  Generous: the whole benchmark suite runs in minutes.
+#: Default upper bound on how long one rank waits for its peers before the
+#: run is declared wedged.  Generous: the whole benchmark suite runs in
+#: minutes.  Configurable per run via ``MachineSpec.barrier_timeout`` and
+#: overridable everywhere with the ``REPRO_BARRIER_TIMEOUT`` environment
+#: variable (chaos tests use a short deadline instead of risking 600 s
+#: hangs) — see :func:`resolve_barrier_timeout`.
 BARRIER_TIMEOUT_SEC = 600.0
+
+#: Environment override for the barrier timeout (seconds).  Wins over both
+#: the module default and ``MachineSpec.barrier_timeout``.
+_TIMEOUT_ENV = "REPRO_BARRIER_TIMEOUT"
+
+
+def resolve_barrier_timeout(value: float | None = None) -> float:
+    """Resolve the effective peer-wait deadline in seconds.
+
+    Priority: ``REPRO_BARRIER_TIMEOUT`` env var > ``value`` (normally
+    ``MachineSpec.barrier_timeout``) > :data:`BARRIER_TIMEOUT_SEC`.
+    """
+    env = os.environ.get(_TIMEOUT_ENV)
+    if env:
+        try:
+            parsed = float(env)
+        except ValueError:
+            parsed = -1.0
+        if parsed > 0:
+            return parsed
+    if value is not None:
+        return float(value)
+    return BARRIER_TIMEOUT_SEC
 
 
 class Transport(Protocol):
@@ -76,16 +110,18 @@ class ThreadTransport:
         slots: list,
         enter: threading.Barrier,
         leave: threading.Barrier,
+        timeout: float | None = None,
     ):
         self.rank = rank
         self.size = size
         self._slots = slots
         self._enter = enter
         self._leave = leave
+        self._timeout = resolve_barrier_timeout(timeout)
 
     def _wait(self, barrier: threading.Barrier) -> None:
         try:
-            barrier.wait(timeout=BARRIER_TIMEOUT_SEC)
+            barrier.wait(timeout=self._timeout)
         except threading.BrokenBarrierError:
             raise RankFailure(
                 f"rank {self.rank}: a peer rank aborted the computation"

@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.config import MachineSpec
 from repro.mpi.clock import BSPClock
-from repro.mpi.comm import Comm, ThreadTransport
+from repro.mpi.comm import Comm, ThreadTransport, resolve_barrier_timeout
 from repro.mpi.errors import CollectiveMisuse, MPIError
 from repro.mpi.stats import CommStats
 from repro.storage.disk import LocalDisk, WorkMeter
@@ -96,6 +96,15 @@ class Cluster:
         self.spec = spec
         self.faults = faults
         self.attempt = attempt
+        # Supervision deadlines, resolved once in the parent: forked
+        # process-backend workers inherit the resolved values, so an env
+        # override set before the run applies uniformly.
+        self.barrier_timeout = resolve_barrier_timeout(spec.barrier_timeout)
+        self.suspect_after = (
+            spec.suspect_after
+            if spec.suspect_after is not None
+            else self.barrier_timeout
+        )
         # Pin the host sort kernel for every rank.  Thread workers share
         # this module state directly; process workers inherit it through
         # fork.  The REPRO_SORT_KERNEL env var still wins everywhere
@@ -163,7 +172,8 @@ class Cluster:
         if self.faults is None:
             return inner
         return self.faults.instrument(
-            rank, self.attempt, inner, self.clock, self.disks[rank]
+            rank, self.attempt, inner, self.clock, self.disks[rank],
+            backend=self.spec.backend,
         )
 
     def comm(self, rank: int) -> Comm:
@@ -175,7 +185,8 @@ class Cluster:
             self.transport_for(
                 rank,
                 ThreadTransport(
-                    rank, self.spec.p, self._slots, self._enter, self._leave
+                    rank, self.spec.p, self._slots, self._enter, self._leave,
+                    timeout=self.barrier_timeout,
                 ),
             ),
             self.clock,

@@ -9,6 +9,11 @@ execution backends:
 
   - :class:`CrashFault` — the rank raises :class:`InjectedFault` as it
     enters its k-th collective (a process dying at a superstep boundary);
+  - :class:`KillFault` — the rank's worker process SIGKILLs itself
+    entering the k-th collective (a hard node loss; under the thread
+    backend, where ranks are threads and cannot be killed, it degrades
+    to an injected crash — both classify as *permanent* for
+    degraded-mode recovery);
   - :class:`CorruptFault` — the rank's payload bytes are flipped *after*
     its CRC is stamped, so every reader of the slot surfaces
     :class:`CorruptPayload` (a wire/driver data-integrity failure);
@@ -37,8 +42,10 @@ payload before the transport sees it.
 
 from __future__ import annotations
 
+import os
 import pickle
 import re
+import signal
 import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
@@ -52,6 +59,7 @@ __all__ = [
     "CorruptFault",
     "DelayFault",
     "DiskFullFault",
+    "KillFault",
     "FaultPlan",
     "FaultyTransport",
 ]
@@ -71,6 +79,22 @@ class CrashFault:
     superstep: int
     attempt: int = 0
     kind: str = field(default="crash", init=False)
+
+
+@dataclass(frozen=True)
+class KillFault:
+    """Rank ``rank``'s worker SIGKILLs itself entering superstep
+    ``superstep`` — a hard node loss, detected by the process backend's
+    :class:`~repro.mpi.backends.Supervisor` as
+    :class:`~repro.mpi.errors.RankDead`.  Under the thread backend ranks
+    are threads of the test process and cannot be killed, so the fault
+    degrades to an injected crash; both forms classify as *permanent*
+    for degraded-mode recovery."""
+
+    rank: int
+    superstep: int
+    attempt: int = 0
+    kind: str = field(default="kill", init=False)
 
 
 @dataclass(frozen=True)
@@ -109,15 +133,16 @@ class DiskFullFault:
     kind: str = field(default="diskfull", init=False)
 
 
-Fault = CrashFault | CorruptFault | DelayFault | DiskFullFault
+Fault = CrashFault | KillFault | CorruptFault | DelayFault | DiskFullFault
 
 #: CLI grammar, one entry per fault, ``;``-separated:
 #:   crash@r<rank>s<superstep>[a<attempt>]
+#:   kill@r<rank>s<superstep>[a<attempt>]
 #:   corrupt@r<rank>s<superstep>[a<attempt>]
 #:   delay@r<rank>s<superstep>x<seconds>[a<attempt>]
 #:   diskfull@r<rank>b<blocks>[a<attempt>]
 _SPEC_RE = re.compile(
-    r"^(?P<kind>crash|corrupt|delay|diskfull)@r(?P<rank>\d+)"
+    r"^(?P<kind>crash|kill|corrupt|delay|diskfull)@r(?P<rank>\d+)"
     r"(?:s(?P<step>\d+))?(?:b(?P<blocks>\d+))?"
     r"(?:x(?P<seconds>[0-9.]+))?(?:a(?P<attempt>\d+))?$"
 )
@@ -157,7 +182,7 @@ class FaultPlan:
             if m is None:
                 raise ValueError(
                     f"bad fault spec {raw!r}; expected e.g. crash@r1s5, "
-                    "corrupt@r2s3, delay@r0s2x0.5, diskfull@r1b40 "
+                    "kill@r1s5, corrupt@r2s3, delay@r0s2x0.5, diskfull@r1b40 "
                     "(optional a<attempt> suffix)"
                 )
             kind = m.group("kind")
@@ -175,6 +200,8 @@ class FaultPlan:
             step = int(m.group("step"))
             if kind == "crash":
                 faults.append(CrashFault(rank, step, attempt))
+            elif kind == "kill":
+                faults.append(KillFault(rank, step, attempt))
             elif kind == "corrupt":
                 faults.append(CorruptFault(rank, step, attempt))
             else:
@@ -256,7 +283,8 @@ class FaultPlan:
     # -- installation (called by the engine / worker main) -------------------
 
     def instrument(
-        self, rank: int, attempt: int, transport, clock, disk
+        self, rank: int, attempt: int, transport, clock, disk,
+        backend: str = "thread",
     ):
         """Wrap ``transport`` and arm ``disk`` for one rank execution.
 
@@ -264,6 +292,10 @@ class FaultPlan:
         should use.  Every rank is wrapped whenever a plan is active —
         the sealed wire format must be uniform across ranks — while
         the per-rank fault schedule only carries this rank's faults.
+        ``backend`` selects the realisation of :class:`KillFault`: a real
+        ``SIGKILL`` of the worker process under ``"process"``, an
+        injected crash under ``"thread"`` (killing a rank thread would
+        kill the host).
         """
         mine = self.for_rank(rank, attempt)
         quota = min(
@@ -281,6 +313,9 @@ class FaultPlan:
             crash_at={
                 f.superstep for f in mine if isinstance(f, CrashFault)
             },
+            kill_at={
+                f.superstep for f in mine if isinstance(f, KillFault)
+            },
             corrupt_at={
                 f.superstep for f in mine if isinstance(f, CorruptFault)
             },
@@ -290,6 +325,7 @@ class FaultPlan:
                 if isinstance(f, DelayFault)
             },
             seal=self.seal_payloads,
+            hard_kill=(backend == "process"),
         )
 
 
@@ -302,7 +338,8 @@ def _arm_disk_quota(disk, rank: int, blocks: int) -> None:
             raise DiskFull(
                 f"rank {rank}: injected disk-full after "
                 f"{disk.stats.blocks_written} blocks "
-                f"(quota {blocks}, write of {pending_blocks} refused)"
+                f"(quota {blocks}, write of {pending_blocks} refused)",
+                rank=rank,
             )
 
     disk.write_guard = guard
@@ -340,9 +377,11 @@ def _unseal(sealed: Any, reader_rank: int) -> Any:
             f"{type(sealed).__name__} (mixed fault-injection wiring?)"
         )
     if zlib.crc32(sealed.data) != sealed.crc:
+        # The *sender* is the culprit rank: its wire corrupted the bytes.
         raise CorruptPayload(
             f"rank {reader_rank}: payload from rank {sealed.source} "
-            f"failed its CRC check (stamped {sealed.crc:#010x})"
+            f"failed its CRC check (stamped {sealed.crc:#010x})",
+            rank=sealed.source,
         )
     return pickle.loads(sealed.data)
 
@@ -399,17 +438,21 @@ class FaultyTransport:
         inner,
         clock,
         crash_at: set[int] | None = None,
+        kill_at: set[int] | None = None,
         corrupt_at: set[int] | None = None,
         delay_at: dict[int, float] | None = None,
         seal: bool = True,
+        hard_kill: bool = False,
     ):
         self.rank = rank
         self.inner = inner
         self.clock = clock
         self.crash_at = crash_at or set()
+        self.kill_at = kill_at or set()
         self.corrupt_at = corrupt_at or set()
         self.delay_at = delay_at or {}
         self.seal = seal
+        self.hard_kill = hard_kill
         self.superstep = 0
 
     def exchange(
@@ -421,10 +464,21 @@ class FaultyTransport:
     ) -> Any:
         step = self.superstep
         self.superstep += 1
+        if step in self.kill_at:
+            if self.hard_kill:
+                # Process backend: die for real.  The Supervisor observes
+                # the pipe close + exit code and raises RankDead.
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise InjectedFault(
+                f"rank {self.rank}: injected kill at superstep {step} "
+                f"({kind}; thread backend degrades SIGKILL to a crash)",
+                rank=self.rank,
+            )
         if step in self.crash_at:
             raise InjectedFault(
                 f"rank {self.rank}: injected crash at superstep {step} "
-                f"({kind})"
+                f"({kind})",
+                rank=self.rank,
             )
         delay = self.delay_at.get(step)
         if delay is not None:

@@ -19,6 +19,8 @@ PACKAGES = [
 MODULES = [
     "repro.config",
     "repro.core.aggregate",
+    "repro.core.audit",
+    "repro.core.checkpoint",
     "repro.core.cube",
     "repro.core.estimate",
     "repro.core.lattice",
@@ -33,10 +35,13 @@ MODULES = [
     "repro.core.validate",
     "repro.core.viewdata",
     "repro.core.views",
+    "repro.mpi.backends",
     "repro.mpi.clock",
     "repro.mpi.comm",
     "repro.mpi.engine",
     "repro.mpi.errors",
+    "repro.mpi.faults",
+    "repro.mpi.shm",
     "repro.mpi.stats",
     "repro.mpi.trace",
     "repro.mpi.whatif",

@@ -155,10 +155,14 @@ class TestRecoveryPolicy:
         assert not policy.is_retryable(ValueError("x"))
         assert not policy.is_retryable(KeyboardInterrupt())
 
-    def test_backoff_is_linear(self):
+    def test_backoff_is_exponential(self):
         policy = RecoveryPolicy(backoff_seconds=0.5)
         assert policy.backoff_for(1) == 0.5
-        assert policy.backoff_for(3) == 1.5
+        assert policy.backoff_for(2) == 1.0
+        assert policy.backoff_for(3) == 2.0
+        # growth 1.0 degenerates to a flat backoff
+        flat = RecoveryPolicy(backoff_seconds=0.5, backoff_growth=1.0)
+        assert flat.backoff_for(3) == 0.5
 
 
 class TestRecoveryWithoutCheckpoint:
