@@ -10,6 +10,8 @@ them.  Also records the Section 4.1 overlap estimate for the standard
 build (the paper claims 40-60% of communication overhead is maskable).
 """
 
+import json
+
 import numpy as np
 from conftest import record
 
@@ -84,6 +86,22 @@ def test_query_latency_vs_balance(benchmark, scale, results_dir):
             "Query latency vs view balance (+ Section 4.1 overlap estimate)",
             pairs,
         ),
+    )
+    # Machine-readable twin of the text report, for tooling.
+    (results_dir / "query_latency.json").write_text(
+        json.dumps(
+            {
+                "bench": "query_latency",
+                "imbalance_balanced": [float(x) for x in imb_balanced],
+                "imbalance_never_resort": [float(x) for x in imb_loose],
+                "balanced_latency_s": float(t_bal),
+                "never_resort_latency_s": float(t_loose),
+                "overlap_masked_fraction": float(overlap.masked_fraction),
+                "overlap_speedup_gain": float(overlap.speedup_gain()),
+            },
+            indent=2,
+        )
+        + "\n"
     )
 
     # The γ contract: every re-sorted view is near-even in the balanced

@@ -153,10 +153,11 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    from repro.olap import CubeStore, Query, QueryEngine
+    from repro.olap import CubeStore, Query
 
-    cube = CubeStore.load(args.path)
-    engine = QueryEngine(cube)
+    # open() (rather than load()) serves format-2 stores through the
+    # mmap-backed index path where the view order allows it.
+    engine = CubeStore.open(args.path).query_engine()
     query = Query(
         group_by=_parse_view(args.group_by),
         filters=dict(args.filter or []),
@@ -175,6 +176,55 @@ def cmd_query(args: argparse.Namespace) -> int:
         print(f"  ({key})  {result.measure[row_idx]:,.3f}")
     if result.nrows > limit:
         print(f"  ... {result.nrows - limit} more groups")
+    return 0
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    import os
+    import tempfile
+
+    from repro.olap import CubeStore, QueryService
+    from repro.olap.servebench import (
+        run_at_rate,
+        serving_workload,
+        synthetic_serving_cube,
+    )
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        if args.store:
+            store_path = args.store
+            cards = CubeStore.open(store_path).cardinalities
+            print(f"serving existing store {store_path}")
+        else:
+            cards = (128, 64, 32, 16)
+            cube = synthetic_serving_cube(
+                args.rows, cards, p=4, seed=args.seed
+            )
+            store_path = os.path.join(tmpdir, "cube.d")
+            CubeStore.save(cube, store_path)
+            print(
+                f"synthesized {args.rows:,}-row serving cube "
+                f"({len(cube.views)} views) at {store_path}"
+            )
+        workload = [q for _, q in serving_workload(cards, n=512,
+                                                   seed=args.seed)]
+        with QueryService(
+            store_path,
+            workers=args.workers,
+            byte_budget=args.cache_mb << 20 if args.cache_mb else None,
+        ) as service:
+            service.answer_many(workload[:8])  # warm the pool
+            for offered in args.qps:
+                rung = run_at_rate(
+                    service, workload, offered, args.duration
+                )
+                print(
+                    f"  offered {rung['offered_qps']:7g} QPS -> achieved "
+                    f"{rung['achieved_qps']:7.1f}  p50 "
+                    f"{rung['p50_ms']:7.2f} ms  p95 {rung['p95_ms']:7.2f}"
+                    f" ms  p99 {rung['p99_ms']:7.2f} ms"
+                )
+            print(f"service stats: {service.stats()}")
     return 0
 
 
@@ -271,6 +321,27 @@ def main(argv: list[str] | None = None) -> int:
                          help="execute across the virtual cluster")
     p_query.add_argument("--limit", type=int, default=10)
     p_query.set_defaults(fn=cmd_query)
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="drive a QueryService worker pool at fixed offered QPS",
+    )
+    p_serve.add_argument("--store", default=None,
+                         help="existing cube store to serve (default: "
+                              "synthesize one)")
+    p_serve.add_argument("--rows", type=int, default=200_000,
+                         help="base-view rows for the synthetic store")
+    p_serve.add_argument("--workers", type=int, default=2)
+    p_serve.add_argument("--qps", type=float, nargs="+",
+                         default=[25.0, 50.0, 100.0],
+                         help="offered-rate ladder")
+    p_serve.add_argument("--duration", type=float, default=2.0,
+                         help="seconds per rung")
+    p_serve.add_argument("--cache-mb", type=int, default=0,
+                         help="result-cache byte budget in MiB "
+                              "(0 = cache off)")
+    p_serve.add_argument("--seed", type=int, default=0xC0FFEE)
+    p_serve.set_defaults(fn=cmd_serve_bench)
 
     p_demo = sub.add_parser("demo", help="tiny end-to-end demonstration")
     p_demo.add_argument("--p", type=int, default=8)

@@ -10,23 +10,41 @@ surface:
   either from the gathered cube or *in parallel* across the virtual
   cluster, which makes the paper's balance argument measurable: each
   view's per-rank distribution bounds parallel scan latency.
-* :mod:`repro.olap.store` — persist a built cube to disk (one spill file
-  per rank per view plus a manifest) and reopen it later.
+* :mod:`repro.olap.index` — fence indexes over the stored sorted views
+  and the access-path classifier that turns prefix-compatible filters
+  into one ``searchsorted`` key range (no decode, no argsort).
+* :mod:`repro.olap.store` — persist a built cube to disk and reopen it;
+  format 2 lays each view out as memory-mapped sorted columns the index
+  path serves from.
+* :mod:`repro.olap.cache` — byte-budgeted, admission-controlled result
+  caching in front of an engine.
+* :mod:`repro.olap.service` — a pool of store-backed worker processes
+  behind a shared queue and the pooled shared-memory data plane.
 * :mod:`repro.olap.advisor` — greedy view selection (the paper's
   reference [12], Harinarayan-Rajaraman-Ullman) that produces the
   ``selected`` set a partial cube build consumes.
 """
 
 from repro.olap.advisor import AdvisorResult, select_views
+from repro.olap.cache import CachedQueryEngine, ResultCache
+from repro.olap.index import AccessPlan, FenceIndex, SortedView
 from repro.olap.query import Query, QueryEngine, QueryPlan, QueryPlanner
-from repro.olap.store import CubeStore
+from repro.olap.service import QueryService
+from repro.olap.store import CubeStore, OpenCube
 
 __all__ = [
+    "AccessPlan",
     "AdvisorResult",
+    "CachedQueryEngine",
     "CubeStore",
+    "FenceIndex",
+    "OpenCube",
     "Query",
     "QueryEngine",
     "QueryPlan",
     "QueryPlanner",
+    "QueryService",
+    "ResultCache",
+    "SortedView",
     "select_views",
 ]

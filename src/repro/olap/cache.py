@@ -2,21 +2,36 @@
 
 A dashboard re-issues the same group-bys constantly; caching their
 results is the standard tier above any OLAP engine.  The cache keys on
-the full query (group-by + filters + HAVING) and is safe because cubes
-are immutable once built — invalidation only happens when a new cube is
+the :class:`~repro.olap.query.Query` itself (hashable since its filters
+normalise to an immutable mapping) and is safe because cubes are
+immutable once built — invalidation only happens when a new cube is
 swapped in (``attach``).
+
+Eviction is *byte-budgeted*: every entry is charged its actual array
+payload and the cache evicts least-recently-used entries until it fits
+the budget, so a thousand point lookups and three giant roll-ups are
+costed honestly against the same memory.  An **admission threshold**
+keeps any single result larger than ``admit_fraction`` of the budget
+out entirely — one huge slice scan must not flush the whole working set
+of small hot results (the classic scan-resistance rule).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Hashable
 
 from repro.core.cube import CubeResult
 from repro.olap.query import Query, QueryEngine
 from repro.storage.table import Relation
 
-__all__ = ["CachedQueryEngine", "CacheStats"]
+__all__ = ["CacheStats", "CachedQueryEngine", "ResultCache", "result_nbytes"]
+
+
+def result_nbytes(result: Relation) -> int:
+    """The array payload of one cached result, in bytes."""
+    return int(result.dims.nbytes) + int(result.measure.nbytes)
 
 
 @dataclass
@@ -24,6 +39,8 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: Results denied admission (larger than the admit threshold).
+    rejected: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -31,51 +48,175 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
 
-def _cache_key(query: Query):
-    return (
-        query.group_by,
-        tuple(sorted(query.filters.items())),
-        query.having,
-    )
+class ResultCache:
+    """Byte-budgeted LRU with admission control.
+
+    ``byte_budget`` bounds the total payload bytes held (``None`` means
+    unbounded); ``capacity`` additionally bounds the entry count
+    (``None`` means unbounded).  A value larger than ``admit_fraction *
+    byte_budget`` is never admitted — it would evict many small entries
+    to cache one result that is cheap to recompute relative to its
+    footprint.
+    """
+
+    def __init__(
+        self,
+        byte_budget: int | None = None,
+        capacity: int | None = None,
+        admit_fraction: float = 0.25,
+    ):
+        if byte_budget is not None and byte_budget < 1:
+            raise ValueError(
+                f"byte_budget must be >= 1, got {byte_budget}"
+            )
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if not 0.0 < admit_fraction <= 1.0:
+            raise ValueError(
+                f"admit_fraction must be in (0, 1], got {admit_fraction}"
+            )
+        self.byte_budget = byte_budget
+        self.capacity = capacity
+        self.admit_fraction = float(admit_fraction)
+        self.stats = CacheStats()
+        self.bytes_held = 0
+        self._entries: OrderedDict[Hashable, tuple[object, int]] = (
+            OrderedDict()
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable):
+        """The cached value or ``None`` (counts a hit/miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry[0]
+
+    def admits(self, nbytes: int) -> bool:
+        """Would a value of this size be admitted at all?"""
+        if self.byte_budget is None:
+            return True
+        return nbytes <= self.byte_budget * self.admit_fraction
+
+    def put(self, key: Hashable, value, nbytes: int) -> bool:
+        """Insert (or refresh) an entry; returns False when denied
+        admission.  Evicts LRU entries until budget and capacity hold."""
+        nbytes = int(nbytes)
+        if not self.admits(nbytes):
+            self.stats.rejected += 1
+            return False
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.bytes_held -= old[1]
+        self._entries[key] = (value, nbytes)
+        self.bytes_held += nbytes
+        while self._entries and (
+            (
+                self.byte_budget is not None
+                and self.bytes_held > self.byte_budget
+            )
+            or (
+                self.capacity is not None
+                and len(self._entries) > self.capacity
+            )
+        ):
+            evicted_key, (_, evicted_bytes) = self._entries.popitem(
+                last=False
+            )
+            self.bytes_held -= evicted_bytes
+            self.stats.evictions += 1
+            if evicted_key == key:
+                # The new entry itself fell out (budget smaller than the
+                # entry but admission allowed it, e.g. unbounded budget
+                # with capacity pressure cannot reach here; keep safe).
+                return False
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.bytes_held = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "bytes_held": self.bytes_held,
+            "byte_budget": self.byte_budget,
+            "capacity": self.capacity,
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "evictions": self.stats.evictions,
+            "rejected": self.stats.rejected,
+            "hit_rate": self.stats.hit_rate,
+        }
 
 
 class CachedQueryEngine:
-    """An LRU cache in front of :class:`~repro.olap.query.QueryEngine`."""
+    """A result cache in front of :class:`~repro.olap.query.QueryEngine`.
 
-    def __init__(self, cube: CubeResult, capacity: int = 128):
+    ``capacity`` keeps the original entry-count bound; ``byte_budget``
+    adds size-aware eviction and admission control on top (both bounds
+    apply when both are given).
+    """
+
+    def __init__(
+        self,
+        cube: CubeResult,
+        capacity: int = 128,
+        byte_budget: int | None = None,
+        admit_fraction: float = 0.25,
+    ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self.stats = CacheStats()
-        self._entries: OrderedDict[tuple, Relation] = OrderedDict()
+        self._cache = ResultCache(
+            byte_budget=byte_budget,
+            capacity=capacity,
+            admit_fraction=admit_fraction,
+        )
         self._engine = QueryEngine(cube)
+
+    @staticmethod
+    def _cache_key(query: Query) -> Query:
+        # Query is hashable (filters normalise to an immutable mapping),
+        # so the query object is its own cache key.
+        return query
 
     @property
     def engine(self) -> QueryEngine:
         return self._engine
 
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats
+
+    @property
+    def bytes_held(self) -> int:
+        return self._cache.bytes_held
+
     def attach(self, cube: CubeResult) -> None:
         """Swap in a freshly built cube; drops every cached result."""
         self._engine = QueryEngine(cube)
-        self._entries.clear()
+        self._cache.clear()
 
     def answer(self, query: Query) -> Relation:
-        key = _cache_key(query)
-        cached = self._entries.get(key)
+        key = self._cache_key(query)
+        cached = self._cache.get(key)
         if cached is not None:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
             return cached
-        self.stats.misses += 1
         result = self._engine.answer(query)
-        self._entries[key] = result
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        self._cache.put(key, result, result_nbytes(result))
         return result
 
     def explain(self, query: Query):
         return self._engine.explain(query)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._cache)

@@ -1,0 +1,241 @@
+"""Workload synthesis and closed-loop measurement for the serving tier.
+
+Shared by ``benchmarks/bench_serving.py`` and the ``serve-bench`` CLI
+subcommand.  Three pieces:
+
+* :func:`synthetic_serving_cube` — a serving-scale cube built directly
+  (sorted unique packed keys + codec-remap roll-ups), so a ≥1M-row view
+  exists in seconds without running the full construction engine;
+* :func:`serving_workload` — a seeded mixed workload of point lookups,
+  roll-ups, and slice scans, the three access shapes the index path
+  treats differently;
+* :func:`run_at_rate` — one rung of a closed-loop offered-QPS ladder
+  against a :class:`~repro.olap.service.QueryService`: queries are
+  submitted on a fixed arrival schedule, latency is measured from the
+  *scheduled* arrival to completion (so queueing delay under overload
+  is charged, not hidden), and the rung reports achieved QPS plus
+  p50/p95/p99.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import RunResult
+from repro.core.cube import CubeResult
+from repro.core.viewdata import ViewData, codec_for_order
+from repro.core.views import View, canonical_view
+from repro.olap.query import Query
+from repro.olap.service import QueryService
+from repro.storage.scan import aggregate_sorted_keys
+from repro.storage.sortkernels import sort_pairs
+
+__all__ = [
+    "latency_percentiles",
+    "run_at_rate",
+    "serving_workload",
+    "synthetic_serving_cube",
+]
+
+
+def synthetic_serving_cube(
+    n_rows: int,
+    cardinalities: Sequence[int],
+    p: int = 4,
+    seed: int = 0,
+    views: Sequence[View] | None = None,
+) -> CubeResult:
+    """A serving-scale cube built arithmetically, not via the engine.
+
+    The base view gets ``n_rows`` sorted *unique* packed keys (random
+    gaps over the full key capacity) with random positive measures;
+    every other view is the exact roll-up of the base (codec remap +
+    sort + aggregate).  Each view splits contiguously into ``p`` rank
+    pieces, so the store's sorted-concatenation invariant holds by
+    construction and query answers are identical to what a real build
+    of the same relation would serve.
+    """
+    cards = tuple(int(c) for c in cardinalities)
+    d = len(cards)
+    base = tuple(range(d))
+    capacity = int(np.prod([np.int64(c) for c in cards]))
+    if n_rows > capacity:
+        raise ValueError(
+            f"n_rows {n_rows} exceeds key capacity {capacity}"
+        )
+    if views is None:
+        views = [base]
+        views += [(i,) for i in range(d)]
+        views += [(i, i + 1) for i in range(d - 1)]
+    views = [canonical_view(v) for v in views]
+
+    rng = np.random.default_rng(seed)
+    gap = max(capacity // n_rows, 1)
+    gaps = rng.integers(1, gap + 1, size=n_rows, dtype=np.int64)
+    base_keys = np.cumsum(gaps) - 1
+    base_measure = rng.random(n_rows)
+
+    rank_views: list[dict[View, ViewData]] = [dict() for _ in range(p)]
+    total_rows = 0
+    codec = codec_for_order(base, cards)
+    for view in views:
+        if view == base:
+            vkeys, vmeasure = base_keys, base_measure
+        else:
+            keys, _ = codec.remap(base_keys, base, view)
+            g_codec = codec_for_order(view, cards)
+            keys, measure = sort_pairs(
+                keys, base_measure, key_bound=g_codec.capacity
+            )
+            vkeys, vmeasure = aggregate_sorted_keys(keys, measure, "sum")
+        n = int(vkeys.shape[0])
+        total_rows += n
+        cuts = [round(rank * n / p) for rank in range(p + 1)]
+        for rank in range(p):
+            lo, hi = cuts[rank], cuts[rank + 1]
+            rank_views[rank][view] = ViewData(
+                view, vkeys[lo:hi], vmeasure[lo:hi]
+            )
+    metrics = RunResult(
+        simulated_seconds=0.0,
+        host_seconds=0.0,
+        output_rows=total_rows,
+        view_count=len(views),
+        comm_bytes=0,
+        disk_blocks=0,
+    )
+    return CubeResult(
+        rank_views=rank_views,
+        cardinalities=cards,
+        metrics=metrics,
+        agg="sum",
+    )
+
+
+def serving_workload(
+    cardinalities: Sequence[int],
+    n: int = 256,
+    seed: int = 0,
+    mix: tuple[float, float, float] = (0.5, 0.3, 0.2),
+) -> list[tuple[str, Query]]:
+    """A seeded mixed workload: ``(kind, query)`` pairs.
+
+    * ``point`` — every dimension point-filtered, no group-by: one key
+      range of at most a fence block on the base view;
+    * ``rollup`` — one or two group-by dims, unfiltered: an aggregated
+      small view answers it;
+    * ``slice`` — a range filter on the base view's leading dimension
+      plus a group-by: a contiguous slice of the sorted base.
+    """
+    cards = tuple(int(c) for c in cardinalities)
+    d = len(cards)
+    rng = np.random.default_rng(seed)
+    kinds = rng.choice(
+        ["point", "rollup", "slice"], size=n, p=list(mix)
+    )
+    out: list[tuple[str, Query]] = []
+    for kind in kinds:
+        if kind == "point":
+            filters = {
+                dim: (int(v), int(v))
+                for dim, v in enumerate(
+                    rng.integers(0, cards, size=d)
+                )
+            }
+            query = Query(group_by=(), filters=filters)
+        elif kind == "rollup":
+            k = int(rng.integers(1, 3))
+            dims = tuple(
+                sorted(rng.choice(d, size=k, replace=False).tolist())
+            )
+            query = Query(group_by=dims)
+        else:
+            lo = int(rng.integers(0, cards[0] - 1))
+            hi = int(rng.integers(lo, cards[0]))
+            gdim = int(rng.integers(1, d))
+            query = Query(group_by=(gdim,), filters={0: (lo, hi)})
+        out.append((str(kind), query))
+    return out
+
+
+def latency_percentiles(samples: Sequence[float]) -> dict[str, float]:
+    """p50/p95/p99 of latency samples, in milliseconds."""
+    arr = np.asarray(samples, dtype=np.float64) * 1e3
+    if arr.size == 0:
+        return {"p50_ms": None, "p95_ms": None, "p99_ms": None}
+    return {
+        "p50_ms": float(np.percentile(arr, 50)),
+        "p95_ms": float(np.percentile(arr, 95)),
+        "p99_ms": float(np.percentile(arr, 99)),
+    }
+
+
+def run_at_rate(
+    service: QueryService,
+    queries: Sequence[Query],
+    offered_qps: float,
+    duration_s: float,
+    drain_timeout_s: float = 60.0,
+) -> dict:
+    """Drive one rung of the offered-QPS ladder (closed loop).
+
+    Submissions follow the fixed arrival schedule ``t0 + i/qps`` (we
+    never skip an arrival, so falling behind shows up as queueing
+    latency, not as a silently lowered offered rate).  Latency is
+    scheduled-arrival → completion.  ``achieved_qps`` counts completions
+    over the span from ``t0`` to the last completion.
+    """
+    n_offered = max(int(offered_qps * duration_s), 1)
+    interval = 1.0 / float(offered_qps)
+    tickets: dict[int, float] = {}
+    latencies: list[float] = []
+    errors = 0
+    last_done = t0 = time.monotonic()
+
+    def harvest() -> None:
+        nonlocal errors, last_done
+        for ticket in service.poll():
+            sched = tickets.pop(ticket, None)
+            if sched is None:
+                continue
+            done = service.completed_at.get(ticket, time.monotonic())
+            try:
+                service.wait(ticket)
+            except Exception:
+                errors += 1
+                continue
+            latencies.append(done - sched)
+            last_done = max(last_done, done)
+
+    submitted = 0
+    while submitted < n_offered:
+        sched = t0 + submitted * interval
+        now = time.monotonic()
+        if now < sched:
+            harvest()
+            time.sleep(min(sched - now, 0.002))
+            continue
+        query = queries[submitted % len(queries)]
+        tickets[service.submit(query)] = sched
+        submitted += 1
+        harvest()
+    deadline = time.monotonic() + drain_timeout_s
+    while tickets and time.monotonic() < deadline:
+        harvest()
+        time.sleep(0.001)
+    span = max(last_done - t0, 1e-9)
+    completed = len(latencies)
+    result = {
+        "offered_qps": float(offered_qps),
+        "duration_s": float(duration_s),
+        "submitted": submitted,
+        "completed": completed,
+        "errors": errors,
+        "timed_out": len(tickets),
+        "achieved_qps": completed / span,
+    }
+    result.update(latency_percentiles(latencies))
+    return result

@@ -1,0 +1,323 @@
+"""A concurrent OLAP query service over a stored cube.
+
+:class:`QueryService` fronts one :class:`~repro.olap.store.CubeStore`
+directory with a pool of **worker processes**.  Each worker mmap-opens
+the store read-only (the OS page cache shares the bytes between
+workers), answers queries through the index-accelerated
+:class:`~repro.olap.query.QueryEngine`, and ships results back through
+the pooled shared-memory data plane of :mod:`repro.mpi.shm` — the same
+:class:`~repro.mpi.shm.SegmentArena` / :func:`~repro.mpi.shm.encode`
+machinery the SPMD backend uses for collectives, so large results cross
+the process boundary without a pickle copy of their arrays.
+
+The coordinator keeps a byte-budgeted, admission-controlled
+:class:`~repro.olap.cache.ResultCache` in front of the pool and dedups
+identical in-flight queries, so a dashboard stampede on one hot query
+costs one worker execution.  Segment recycling is explicit: after the
+coordinator decodes a result it acks the segment names back to the
+owning worker, which returns them to its arena pool — steady-state
+serving creates no new segments.
+
+The API is deliberately queue-shaped for closed-loop benchmarking
+(``benchmarks/bench_serving.py``): ``submit`` enqueues and returns a
+ticket, ``wait`` collects, ``answer`` is the synchronous round trip.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import time
+from typing import Iterable, Sequence
+
+from repro.mpi.shm import SegmentArena, decode, encode, sweep_orphans
+from repro.olap.cache import ResultCache, result_nbytes
+from repro.olap.query import Query, QueryEngine
+from repro.storage.table import Relation
+
+__all__ = ["QueryService"]
+
+_SHUTDOWN = None  # task-queue sentinel
+_ACK_GRACE_SECONDS = 0.25
+
+
+def _drain_acks(ack_q, arena: SegmentArena) -> None:
+    """Recycle every segment the coordinator has released so far."""
+    while True:
+        try:
+            names = ack_q.get_nowait()
+        except queue_mod.Empty:
+            return
+        if names:
+            arena.recycle(names)
+
+
+def _worker_main(
+    worker_id: int,
+    store_path: str,
+    index: bool,
+    task_q,
+    result_q,
+    ack_q,
+) -> None:
+    """One serving worker: open the store, answer until the sentinel."""
+    from repro.olap.store import CubeStore
+
+    handle = CubeStore.open(store_path)
+    engine = QueryEngine(
+        handle.cube,
+        sorted_views=handle.sorted_views,
+        index=index,
+    )
+    arena = SegmentArena(pooled=True)
+    try:
+        while True:
+            task = task_q.get()
+            _drain_acks(ack_q, arena)
+            if task is _SHUTDOWN:
+                break
+            seq, query = task
+            try:
+                result = engine.answer(query)
+                blob = encode((result.dims, result.measure), arena)
+                result_q.put((worker_id, seq, blob, None))
+            except Exception as exc:  # noqa: BLE001 - relayed to caller
+                result_q.put((worker_id, seq, None, repr(exc)))
+    finally:
+        # Give in-flight acks a moment to land, then drop the arena —
+        # close() unlinks anything never recycled, and the coordinator
+        # collects all pending results before sending the sentinel.
+        deadline = time.monotonic() + _ACK_GRACE_SECONDS
+        while arena._in_flight and time.monotonic() < deadline:
+            _drain_acks(ack_q, arena)
+            time.sleep(0.01)
+        _drain_acks(ack_q, arena)
+        arena.close()
+
+
+class QueryService:
+    """A pool of store-backed query workers behind a result cache.
+
+    Parameters
+    ----------
+    store_path:
+        A :class:`~repro.olap.store.CubeStore` directory (either
+        format); every worker opens it independently.
+    workers:
+        Pool size (>= 1).
+    byte_budget / admit_fraction:
+        Result-cache sizing (see :class:`~repro.olap.cache.ResultCache`);
+        ``byte_budget=None`` disables caching entirely.
+    index:
+        ``False`` pins every worker to the scan path — the A/B lever of
+        the serving benchmark.
+    """
+
+    def __init__(
+        self,
+        store_path: str,
+        workers: int = 2,
+        byte_budget: int | None = 64 << 20,
+        admit_fraction: float = 0.25,
+        index: bool = True,
+        start_method: str = "fork",
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.store_path = store_path
+        self.workers = int(workers)
+        self.index = bool(index)
+        self._cache = (
+            ResultCache(byte_budget, admit_fraction=admit_fraction)
+            if byte_budget is not None
+            else None
+        )
+        ctx = mp.get_context(start_method)
+        self._task_q = ctx.Queue()
+        self._result_q = ctx.Queue()
+        self._ack_qs = [ctx.Queue() for _ in range(self.workers)]
+        self._procs = []
+        self._seq = 0
+        self._pending: dict[int, Query] = {}  # sent seq -> query
+        self._waiters: dict[Query, list[int]] = {}  # query -> tickets
+        self._results: dict[int, Relation | Exception] = {}
+        #: Monotonic completion time per resolved ticket (for latency
+        #: measurement by the closed-loop benchmark; popped with wait).
+        self.completed_at: dict[int, float] = {}
+        self.submitted = 0
+        self.executed = 0
+        self._closed = False
+        for wid in range(self.workers):
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(
+                    wid,
+                    store_path,
+                    self.index,
+                    self._task_q,
+                    self._result_q,
+                    self._ack_qs[wid],
+                ),
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, query: Query) -> int:
+        """Enqueue a query; returns a ticket for :meth:`wait`.
+
+        Cache hits resolve immediately; an identical query already in
+        flight is joined rather than re-executed.
+        """
+        if self._closed:
+            raise RuntimeError("QueryService is closed")
+        self._seq += 1
+        ticket = self._seq
+        self.submitted += 1
+        if self._cache is not None:
+            cached = self._cache.get(query)
+            if cached is not None:
+                self._results[ticket] = cached
+                self.completed_at[ticket] = time.monotonic()
+                return ticket
+        waiters = self._waiters.get(query)
+        if waiters is not None:
+            waiters.append(ticket)
+            return ticket
+        self._waiters[query] = [ticket]
+        self._pending[ticket] = query
+        self._task_q.put((ticket, query))
+        return ticket
+
+    # -- collection --------------------------------------------------------
+
+    def _collect_one(self, timeout: float | None) -> None:
+        """Block for one worker result and fulfill its waiters."""
+        try:
+            worker_id, seq, blob, err = self._result_q.get(
+                timeout=timeout
+            )
+        except queue_mod.Empty:
+            raise TimeoutError(
+                f"no result within {timeout:.3f}s "
+                f"({len(self._pending)} queries in flight)"
+            ) from None
+        query = self._pending.pop(seq)
+        if err is not None:
+            outcome: Relation | Exception = RuntimeError(
+                f"worker {worker_id} failed on {query.describe()}: {err}"
+            )
+        else:
+            dims, measure = decode(blob)
+            if blob.segments:
+                self._ack_qs[worker_id].put(blob.segments)
+            outcome = Relation(dims, measure)
+            self.executed += 1
+            if self._cache is not None:
+                self._cache.put(query, outcome, result_nbytes(outcome))
+        done = time.monotonic()
+        for ticket in self._waiters.pop(query):
+            self._results[ticket] = outcome
+            self.completed_at[ticket] = done
+
+    def wait(self, ticket: int, timeout: float | None = None) -> Relation:
+        """The result for ``ticket`` (collecting others on the way)."""
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        while ticket not in self._results:
+            remaining = (
+                None
+                if deadline is None
+                else max(deadline - time.monotonic(), 0.001)
+            )
+            self._collect_one(remaining)
+        outcome = self._results.pop(ticket)
+        self.completed_at.pop(ticket, None)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+    def poll(self) -> list[int]:
+        """Collect every already-available result without blocking;
+        returns the tickets now resolvable via :meth:`wait`."""
+        while self._pending:
+            try:
+                self._collect_one(timeout=0.001)
+            except TimeoutError:
+                break
+        return list(self._results)
+
+    # -- convenience -------------------------------------------------------
+
+    def answer(self, query: Query, timeout: float | None = None) -> Relation:
+        """Synchronous round trip through cache + pool."""
+        return self.wait(self.submit(query), timeout)
+
+    def answer_many(
+        self, queries: Sequence[Query], timeout: float | None = None
+    ) -> list[Relation]:
+        """Answer a batch, overlapping execution across the pool."""
+        tickets = [self.submit(q) for q in queries]
+        return [self.wait(t, timeout) for t in tickets]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Coordinator-side counters (cache + dedup effectiveness)."""
+        out = {
+            "workers": self.workers,
+            "index": self.index,
+            "submitted": self.submitted,
+            "executed": self.executed,
+            "in_flight": len(self._pending),
+        }
+        if self._cache is not None:
+            out["cache"] = self._cache.snapshot()
+        return out
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Drain in-flight work, stop the pool, sweep leaked segments."""
+        if self._closed:
+            return
+        self._closed = True
+        deadline = time.monotonic() + timeout
+        try:
+            while self._pending and time.monotonic() < deadline:
+                try:
+                    self._collect_one(timeout=0.2)
+                except TimeoutError:
+                    continue
+        except Exception:  # pragma: no cover - teardown is best-effort
+            pass
+        for _ in self._procs:
+            self._task_q.put(_SHUTDOWN)
+        pids = [proc.pid for proc in self._procs]
+        for proc in self._procs:
+            proc.join(max(deadline - time.monotonic(), 0.5))
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(1.0)
+        # Anything a killed worker never unlinked.
+        sweep_orphans([pid for pid in pids if pid is not None])
+        for q in (self._task_q, self._result_q, *self._ack_qs):
+            q.close()
+            q.join_thread()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter teardown
+        try:
+            if not self._closed and any(
+                p.is_alive() for p in self._procs
+            ):
+                self.close(timeout=2.0)
+        except Exception:
+            pass

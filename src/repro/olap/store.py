@@ -1,14 +1,34 @@
 """Persist a constructed cube to disk and reopen it for querying.
 
-Layout (one directory per cube)::
+Two on-disk formats share one manifest schema:
+
+**Format 1** (the seed layout, still fully readable and writable)::
 
     <path>/manifest.json          cardinalities, aggregate, p, view index
     <path>/rank00/v_<name>.npz    keys + measure of rank 0's piece
     <path>/rank01/...
 
-Views keep their per-rank pieces and sort orders, so a reopened cube is
-exactly as distributed (and as balanced) as the one that was saved — the
-parallel query path works unchanged on it.
+**Format 2** (the serving layout, default) lays each view out as raw
+contiguous ``.npy`` columns of *globally sorted* packed int64 keys plus
+the parallel measure::
+
+    <path>/manifest.json          + per-view order, rank offsets, fence
+    <path>/views/v_<name>.keys.npy
+    <path>/views/v_<name>.measure.npy
+
+After every build mode in this repository, a view's per-rank pieces
+share one sort order and concatenate (rank 0 first) into a globally
+sorted, key-disjoint array — the γ-balanced sample-sort merge guarantees
+key-range partitioning — so format 2 stores that concatenation once and
+keeps the rank boundaries as offsets: :meth:`CubeStore.load` rebuilds
+the exact distributed cube as zero-copy slices of the memory-mapped
+columns, while :meth:`CubeStore.open` hands the serving tier
+:class:`~repro.olap.index.SortedView` handles whose fence index (every
+Nth key, persisted in the manifest) lets a reader touch only the pages
+a query needs.  A view that violates the sorted-concatenation invariant
+(none of the shipped builders produce one, but the format stays honest)
+falls back to per-rank ``ranked`` storage inside the same format-2
+manifest and serves through the scan path.
 """
 
 from __future__ import annotations
@@ -23,8 +43,11 @@ from repro.config import RunResult
 from repro.core.cube import CubeResult
 from repro.core.viewdata import ViewData
 from repro.core.views import View, canonical_view, view_name
+from repro.olap.index import DEFAULT_STRIDE, FenceIndex, SortedView
+from repro.storage.mmapio import MappedColumn, MmapMeter, write_npy
+from repro.storage.sortkernels import is_sorted_int64
 
-__all__ = ["CubeStore"]
+__all__ = ["CubeStore", "OpenCube"]
 
 _MANIFEST = "manifest.json"
 
@@ -33,12 +56,41 @@ def _view_file(view: View) -> str:
     return "v_" + ("_".join(str(i) for i in view) if view else "all") + ".npz"
 
 
+def _view_stem(view: View) -> str:
+    return "v_" + ("_".join(str(i) for i in view) if view else "all")
+
+
+def _zero_metrics(total_rows: int, view_count: int) -> RunResult:
+    """Reopened cubes carry no construction cost (it was paid at build)."""
+    return RunResult(
+        simulated_seconds=0.0,
+        host_seconds=0.0,
+        output_rows=total_rows,
+        view_count=view_count,
+        comm_bytes=0,
+        disk_blocks=0,
+    )
+
+
 class CubeStore:
-    """Directory-backed cube persistence."""
+    """Directory-backed cube persistence (formats 1 and 2)."""
 
     @staticmethod
-    def save(cube: CubeResult, path: str) -> str:
+    def save(
+        cube: CubeResult,
+        path: str,
+        format: int = 2,
+        fence_stride: int | None = None,
+    ) -> str:
         """Write ``cube`` under ``path`` (created if needed)."""
+        if format == 1:
+            return CubeStore._save_v1(cube, path)
+        if format != 2:
+            raise ValueError(f"unknown cube store format: {format!r}")
+        return CubeStore._save_v2(cube, path, fence_stride)
+
+    @staticmethod
+    def _save_v1(cube: CubeResult, path: str) -> str:
         os.makedirs(path, exist_ok=True)
         views = cube.views
         manifest = {
@@ -74,20 +126,175 @@ class CubeStore:
         return path
 
     @staticmethod
-    def load(path: str) -> CubeResult:
-        """Reopen a saved cube as a :class:`CubeResult` (metrics zeroed —
-        construction cost belongs to the original build)."""
+    def _save_v2(
+        cube: CubeResult, path: str, fence_stride: int | None
+    ) -> str:
+        os.makedirs(path, exist_ok=True)
+        stride = int(fence_stride or DEFAULT_STRIDE)
+        views_dir = os.path.join(path, "views")
+        entries = []
+        for view in cube.views:
+            pieces = [rv[view] for rv in cube.rank_views]
+            orders = {piece.order for piece in pieces}
+            keys = np.concatenate([piece.keys for piece in pieces])
+            entry = {
+                "dims": list(view),
+                "name": view_name(view),
+                "rows": int(keys.shape[0]),
+            }
+            if len(orders) == 1 and is_sorted_int64(keys):
+                # The serving layout: one sorted column pair per view,
+                # rank pieces recoverable as offset slices.
+                order = pieces[0].order
+                measure = np.concatenate(
+                    [piece.measure for piece in pieces]
+                )
+                offsets = np.zeros(len(pieces) + 1, dtype=np.int64)
+                np.cumsum(
+                    [piece.nrows for piece in pieces], out=offsets[1:]
+                )
+                stem = os.path.join(views_dir, _view_stem(view))
+                write_npy(stem + ".keys.npy", keys)
+                write_npy(stem + ".measure.npy", measure)
+                entry.update(
+                    layout="sorted",
+                    order=list(order),
+                    rank_offsets=[int(o) for o in offsets],
+                    fence=FenceIndex.build(keys, stride).to_manifest(),
+                )
+            else:
+                # Degenerate cube (mixed orders or unsorted global
+                # concatenation): keep the faithful per-rank layout;
+                # this view serves through the scan path.
+                entry.update(
+                    layout="ranked",
+                    orders=[list(piece.order) for piece in pieces],
+                )
+                for rank, piece in enumerate(pieces):
+                    rank_dir = os.path.join(path, f"rank{rank:02d}")
+                    os.makedirs(rank_dir, exist_ok=True)
+                    np.savez(
+                        os.path.join(rank_dir, _view_file(view)),
+                        keys=piece.keys,
+                        measure=piece.measure,
+                    )
+            entries.append(entry)
+        manifest = {
+            "format": 2,
+            "cardinalities": list(cube.cardinalities),
+            "agg": cube.agg,
+            "p": len(cube.rank_views),
+            "fence_stride": stride,
+            "views": entries,
+        }
+        with open(os.path.join(path, _MANIFEST), "w") as fh:
+            json.dump(manifest, fh, indent=1)
+        return path
+
+    # -- reading -----------------------------------------------------------
+
+    @staticmethod
+    def _read_manifest(path: str) -> dict:
         manifest_path = os.path.join(path, _MANIFEST)
         if not os.path.exists(manifest_path):
             raise FileNotFoundError(f"no cube manifest at {manifest_path}")
         with open(manifest_path) as fh:
             manifest = json.load(fh)
-        if manifest.get("format") != 1:
+        if manifest.get("format") not in (1, 2):
             raise ValueError(
                 f"unsupported cube store format: {manifest.get('format')!r}"
             )
-        cards = tuple(int(c) for c in manifest["cardinalities"])
-        p = int(manifest["p"])
+        return manifest
+
+    @staticmethod
+    def load(path: str) -> CubeResult:
+        """Reopen a saved cube as a :class:`CubeResult`.
+
+        Format-2 pieces are zero-copy slices of the memory-mapped view
+        columns — the distributed layout (per-rank rows and orders) is
+        exactly what was saved, for either format.
+        """
+        return CubeStore.open(path).cube
+
+    @staticmethod
+    def open(path: str) -> "OpenCube":
+        """Open a store for serving: mmap-backed cube + sorted views."""
+        manifest = CubeStore._read_manifest(path)
+        return OpenCube(path, manifest)
+
+    @staticmethod
+    def exists(path: str) -> bool:
+        return os.path.exists(os.path.join(path, _MANIFEST))
+
+
+class OpenCube:
+    """A read-only handle on one stored cube.
+
+    * :attr:`cube` — the faithful distributed :class:`CubeResult`
+      (format 2: zero-copy mmap slices; format 1: eager ``.npz`` loads).
+    * :attr:`sorted_views` — per-view :class:`SortedView` serving
+      handles (format-2 ``sorted`` layouts only; empty for format 1).
+    * :attr:`meter` — mmap read accounting shared by every column.
+
+    Handles are safe to open in many processes at once: each worker of
+    the query service opens its own and the OS page cache shares the
+    underlying bytes.
+    """
+
+    def __init__(self, path: str, manifest: dict):
+        self.path = path
+        self.manifest = manifest
+        self.format = int(manifest["format"])
+        self.cardinalities = tuple(
+            int(c) for c in manifest["cardinalities"]
+        )
+        self.agg = manifest.get("agg", "sum")
+        self.p = int(manifest["p"])
+        self.meter = MmapMeter()
+        self._cube: CubeResult | None = None
+        self._sorted: dict[View, SortedView] | None = None
+
+    # -- sorted serving views ---------------------------------------------
+
+    @property
+    def sorted_views(self) -> dict[View, SortedView]:
+        if self._sorted is None:
+            self._sorted = {}
+            if self.format == 2:
+                for entry in self.manifest["views"]:
+                    if entry.get("layout") != "sorted":
+                        continue
+                    view = canonical_view(entry["dims"])
+                    stem = os.path.join(
+                        self.path, "views", _view_stem(view)
+                    )
+                    self._sorted[view] = SortedView(
+                        tuple(entry["order"]),
+                        MappedColumn(stem + ".keys.npy", self.meter),
+                        MappedColumn(stem + ".measure.npy", self.meter),
+                        FenceIndex.from_manifest(entry["fence"]),
+                    )
+        return self._sorted
+
+    def view_index(self, view: View) -> FenceIndex | None:
+        """The manifest-persisted fence index of one view (or ``None``
+        when the view is stored ranked / format 1)."""
+        sv = self.sorted_views.get(canonical_view(view))
+        return sv.fence if sv is not None else None
+
+    # -- the distributed cube ---------------------------------------------
+
+    @property
+    def cube(self) -> CubeResult:
+        if self._cube is None:
+            self._cube = (
+                self._load_v1() if self.format == 1 else self._load_v2()
+            )
+        return self._cube
+
+    def _load_v1(self) -> CubeResult:
+        manifest = self.manifest
+        p = self.p
         rank_views: list[dict[View, ViewData]] = [dict() for _ in range(p)]
         total_rows = 0
         for entry in manifest["views"]:
@@ -95,7 +302,7 @@ class CubeStore:
             total_rows += int(entry["rows"])
             for rank in range(p):
                 file_path = os.path.join(
-                    path, f"rank{rank:02d}", _view_file(view)
+                    self.path, f"rank{rank:02d}", _view_file(view)
                 )
                 with np.load(file_path) as npz:
                     data = ViewData(
@@ -104,21 +311,55 @@ class CubeStore:
                         npz["measure"],
                     )
                 rank_views[rank][view] = data
-        metrics = RunResult(
-            simulated_seconds=0.0,
-            host_seconds=0.0,
-            output_rows=total_rows,
-            view_count=len(manifest["views"]),
-            comm_bytes=0,
-            disk_blocks=0,
-        )
         return CubeResult(
             rank_views=rank_views,
-            cardinalities=cards,
-            metrics=metrics,
-            agg=manifest.get("agg", "sum"),
+            cardinalities=self.cardinalities,
+            metrics=_zero_metrics(total_rows, len(manifest["views"])),
+            agg=self.agg,
         )
 
-    @staticmethod
-    def exists(path: str) -> bool:
-        return os.path.exists(os.path.join(path, _MANIFEST))
+    def _load_v2(self) -> CubeResult:
+        manifest = self.manifest
+        p = self.p
+        rank_views: list[dict[View, ViewData]] = [dict() for _ in range(p)]
+        total_rows = 0
+        for entry in manifest["views"]:
+            view = canonical_view(entry["dims"])
+            total_rows += int(entry["rows"])
+            if entry.get("layout") == "sorted":
+                sv = self.sorted_views[view]
+                keys = sv._keys.array  # the shared mapping
+                measure = sv._measure.array
+                offsets = entry["rank_offsets"]
+                order = tuple(entry["order"])
+                for rank in range(p):
+                    lo, hi = int(offsets[rank]), int(offsets[rank + 1])
+                    rank_views[rank][view] = ViewData(
+                        order, keys[lo:hi], measure[lo:hi]
+                    )
+            else:
+                for rank in range(p):
+                    file_path = os.path.join(
+                        self.path, f"rank{rank:02d}", _view_file(view)
+                    )
+                    with np.load(file_path) as npz:
+                        rank_views[rank][view] = ViewData(
+                            tuple(entry["orders"][rank]),
+                            npz["keys"],
+                            npz["measure"],
+                        )
+        return CubeResult(
+            rank_views=rank_views,
+            cardinalities=self.cardinalities,
+            metrics=_zero_metrics(total_rows, len(manifest["views"])),
+            agg=self.agg,
+        )
+
+    # -- convenience -------------------------------------------------------
+
+    def query_engine(self):
+        """A :class:`~repro.olap.query.QueryEngine` over this store
+        (index-accelerated where sorted views exist)."""
+        from repro.olap.query import QueryEngine
+
+        return QueryEngine(self.cube, sorted_views=self.sorted_views)
