@@ -183,13 +183,27 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     import os
     import tempfile
 
-    from repro.olap import CubeStore, QueryService
+    from repro.mpi.faults import ServeFaultPlan
+    from repro.olap import CubeStore, QueryService, ServicePolicy
     from repro.olap.servebench import (
         run_at_rate,
         serving_workload,
         synthetic_serving_cube,
     )
 
+    serve_faults = (
+        ServeFaultPlan.parse(args.serve_faults)
+        if args.serve_faults
+        else None
+    )
+    policy = ServicePolicy(
+        heartbeat_interval=args.heartbeat,
+        suspect_after=args.suspect_after,
+        deadline_s=args.deadline if args.deadline > 0 else None,
+        max_retries=args.max_retries,
+        max_queue_depth=args.max_queue,
+        max_restarts=args.max_restarts,
+    )
     with tempfile.TemporaryDirectory() as tmpdir:
         if args.store:
             store_path = args.store
@@ -206,12 +220,16 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
                 f"synthesized {args.rows:,}-row serving cube "
                 f"({len(cube.views)} views) at {store_path}"
             )
+        if serve_faults is not None:
+            print(f"injecting serve faults: {serve_faults.describe()}")
         workload = [q for _, q in serving_workload(cards, n=512,
                                                    seed=args.seed)]
         with QueryService(
             store_path,
             workers=args.workers,
             byte_budget=args.cache_mb << 20 if args.cache_mb else None,
+            policy=policy,
+            serve_faults=serve_faults,
         ) as service:
             service.answer_many(workload[:8])  # warm the pool
             for offered in args.qps:
@@ -223,8 +241,22 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
                     f"{rung['achieved_qps']:7.1f}  p50 "
                     f"{rung['p50_ms']:7.2f} ms  p95 {rung['p95_ms']:7.2f}"
                     f" ms  p99 {rung['p99_ms']:7.2f} ms"
+                    + (
+                        f"  (shed {rung['shed']}, deadline misses "
+                        f"{rung['deadline_timeouts']})"
+                        if rung["shed"] or rung["deadline_timeouts"]
+                        else ""
+                    )
                 )
-            print(f"service stats: {service.stats()}")
+            stats = service.stats()
+            print(f"service stats: {stats}")
+            if stats["worker_deaths"] or stats["worker_hangs"]:
+                print(
+                    f"survived {stats['worker_deaths']} worker deaths "
+                    f"and {stats['worker_hangs']} hangs with "
+                    f"{stats['restarts']} restarts and "
+                    f"{stats['retries']} query retries"
+                )
     return 0
 
 
@@ -341,6 +373,28 @@ def main(argv: list[str] | None = None) -> int:
                          help="result-cache byte budget in MiB "
                               "(0 = cache off)")
     p_serve.add_argument("--seed", type=int, default=0xC0FFEE)
+    p_serve.add_argument("--serve-faults", default=None,
+                         help="serving fault plan, e.g. "
+                              "'kill@w0q5;hang@w1q3x2.5;corrupt@w2q4' "
+                              "(keyed by each worker's executed-query "
+                              "count; optional g<generation> suffix)")
+    p_serve.add_argument("--deadline", type=float, default=0.0,
+                         help="per-query deadline in seconds "
+                              "(0 = no deadline)")
+    p_serve.add_argument("--max-queue", type=int, default=1024,
+                         help="in-flight query cap; submissions past it "
+                              "are shed with ServiceOverloaded")
+    p_serve.add_argument("--max-retries", type=int, default=3,
+                         help="re-executions allowed per query after "
+                              "worker failures")
+    p_serve.add_argument("--max-restarts", type=int, default=16,
+                         help="replacement workers the supervisor may "
+                              "spawn over the run")
+    p_serve.add_argument("--heartbeat", type=float, default=0.05,
+                         help="supervision interval in seconds")
+    p_serve.add_argument("--suspect-after", type=float, default=5.0,
+                         help="declare a silent worker hung after this "
+                              "many seconds")
     p_serve.set_defaults(fn=cmd_serve_bench)
 
     p_demo = sub.add_parser("demo", help="tiny end-to-end demonstration")

@@ -62,6 +62,11 @@ __all__ = [
     "KillFault",
     "FaultPlan",
     "FaultyTransport",
+    "ServeCorruptFault",
+    "ServeFaultPlan",
+    "ServeFaultSchedule",
+    "ServeHangFault",
+    "ServeKillFault",
 ]
 
 
@@ -326,6 +331,182 @@ class FaultPlan:
             },
             seal=self.seal_payloads,
             hard_kill=(backend == "process"),
+        )
+
+
+# ---------------------------------------------------------------------------
+# serving-side faults
+# ---------------------------------------------------------------------------
+#
+# The build engine's faults key on a rank's superstep count; a serving
+# worker has no supersteps, so its faults key on the worker's
+# *executed-query count* instead — the q-th query that worker process
+# executes in its lifetime.  A respawned replacement starts counting
+# from zero again, which is what lets one spec drive sustained chaos
+# (``kill@w0q5`` fells every generation of slot 0 at its 5th query);
+# the optional ``g<generation>`` suffix pins a fault to one generation
+# when a test needs the worker to survive afterwards.
+
+
+@dataclass(frozen=True)
+class ServeKillFault:
+    """Serving worker in slot ``worker`` SIGKILLs itself entering its
+    ``query``-th executed query (0-based, per process lifetime) — the
+    hard mid-query node loss the service supervisor must absorb."""
+
+    worker: int
+    query: int
+    generation: int | None = None
+    kind: str = field(default="kill", init=False)
+
+
+@dataclass(frozen=True)
+class ServeHangFault:
+    """Serving worker in slot ``worker`` goes silent for ``seconds``
+    (a real sleep, heartbeats included) entering its ``query``-th
+    executed query — a straggler the supervisor must declare hung."""
+
+    worker: int
+    query: int
+    seconds: float = 5.0
+    generation: int | None = None
+    kind: str = field(default="hang", init=False)
+
+
+@dataclass(frozen=True)
+class ServeCorruptFault:
+    """Serving worker in slot ``worker`` flips a byte in its
+    ``query``-th result blob *after* the result CRC is stamped, so the
+    coordinator's integrity check catches it and retries elsewhere."""
+
+    worker: int
+    query: int
+    generation: int | None = None
+    kind: str = field(default="corrupt", init=False)
+
+
+ServeFault = ServeKillFault | ServeHangFault | ServeCorruptFault
+
+#: ``--serve-faults`` grammar, one entry per fault, ``;``-separated:
+#:   kill@w<worker>q<query>[g<generation>]
+#:   hang@w<worker>q<query>[x<seconds>][g<generation>]
+#:   corrupt@w<worker>q<query>[g<generation>]
+_SERVE_SPEC_RE = re.compile(
+    r"^(?P<kind>kill|hang|corrupt)@w(?P<worker>\d+)q(?P<query>\d+)"
+    r"(?:x(?P<seconds>[0-9.]+))?(?:g(?P<generation>\d+))?$"
+)
+
+
+@dataclass(frozen=True)
+class ServeFaultSchedule:
+    """One worker generation's resolved fault schedule, keyed by its
+    executed-query counter.  Built by :meth:`ServeFaultPlan.schedule`;
+    interpreted by the serving worker's main loop."""
+
+    kill_at: frozenset[int] = frozenset()
+    hang_at: tuple[tuple[int, float], ...] = ()
+    corrupt_at: frozenset[int] = frozenset()
+
+    def hang_seconds(self, query_index: int) -> float | None:
+        for at, seconds in self.hang_at:
+            if at == query_index:
+                return seconds
+        return None
+
+
+@dataclass(frozen=True)
+class ServeFaultPlan:
+    """A deterministic set of serving-side faults for one
+    :class:`~repro.olap.service.QueryService` run.  Immutable and free
+    of execution state, like :class:`FaultPlan`."""
+
+    faults: tuple[ServeFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        for f in self.faults:
+            if f.worker < 0 or f.query < 0:
+                raise ValueError(
+                    f"serve fault worker/query must be >= 0: {f}"
+                )
+
+    @staticmethod
+    def parse(text: str) -> "ServeFaultPlan":
+        """Parse the CLI grammar, e.g. ``"kill@w0q5;hang@w1q3x2.5g0"``."""
+        faults: list[ServeFault] = []
+        for raw in re.split(r"[;,]", text):
+            raw = raw.strip()
+            if not raw:
+                continue
+            m = _SERVE_SPEC_RE.match(raw)
+            if m is None:
+                raise ValueError(
+                    f"bad serve-fault spec {raw!r}; expected e.g. "
+                    "kill@w0q5, hang@w1q3x2.5, corrupt@w2q4 "
+                    "(optional g<generation> suffix)"
+                )
+            kind = m.group("kind")
+            worker = int(m.group("worker"))
+            query = int(m.group("query"))
+            generation = (
+                int(m.group("generation"))
+                if m.group("generation") is not None
+                else None
+            )
+            if kind == "kill":
+                faults.append(ServeKillFault(worker, query, generation))
+            elif kind == "corrupt":
+                faults.append(
+                    ServeCorruptFault(worker, query, generation)
+                )
+            else:
+                faults.append(
+                    ServeHangFault(
+                        worker,
+                        query,
+                        float(m.group("seconds") or 5.0),
+                        generation,
+                    )
+                )
+        if not faults:
+            raise ValueError(f"empty serve-fault spec: {text!r}")
+        return ServeFaultPlan(tuple(faults))
+
+    def describe(self) -> str:
+        return "; ".join(
+            f"{f.kind}@w{f.worker}q{f.query}"
+            + (
+                f"x{f.seconds:g}"
+                if isinstance(f, ServeHangFault)
+                else ""
+            )
+            + (f"g{f.generation}" if f.generation is not None else "")
+            for f in self.faults
+        )
+
+    def schedule(
+        self, worker: int, generation: int
+    ) -> ServeFaultSchedule:
+        """Resolve the schedule one worker generation must honour."""
+        mine = [
+            f
+            for f in self.faults
+            if f.worker == worker
+            and (f.generation is None or f.generation == generation)
+        ]
+        return ServeFaultSchedule(
+            kill_at=frozenset(
+                f.query for f in mine if isinstance(f, ServeKillFault)
+            ),
+            hang_at=tuple(
+                (f.query, f.seconds)
+                for f in mine
+                if isinstance(f, ServeHangFault)
+            ),
+            corrupt_at=frozenset(
+                f.query
+                for f in mine
+                if isinstance(f, ServeCorruptFault)
+            ),
         )
 
 

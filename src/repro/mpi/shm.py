@@ -84,6 +84,7 @@ __all__ = [
     "encode",
     "encode_lanes",
     "materialize",
+    "share_resource_tracker",
     "sweep_orphans",
     "unlink_segments",
 ]
@@ -184,8 +185,43 @@ def sweep_orphans(pids: Iterable[int] | None = None) -> list[str]:
             os.unlink(os.path.join(_SHM_DIR, name))
             swept.append(name)
         except OSError:  # pragma: no cover - raced cleanup
-            pass
+            continue
+        # A dead *child* of ours registered the segment with the
+        # fork-shared resource tracker; deregister on its behalf so the
+        # tracker does not warn about (and re-attempt) the cleanup at
+        # exit.  Global sweeps (pids=None) reclaim other sessions'
+        # leftovers, which our tracker never saw — skip those.
+        if targets is not None:
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister("/" + name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker gone
+                pass
     return swept
+
+
+def share_resource_tracker() -> None:
+    """Start the resource tracker *now*, before any worker is forked.
+
+    CPython starts the tracker lazily on first shared-resource creation.
+    If the first segment is created inside a forked worker, that worker
+    spawns its own private tracker: its registrations are invisible to
+    the coordinator (whose later :func:`sweep_orphans` unregister hits a
+    different tracker and KeyErrors there), and when the worker is
+    SIGKILL'd its orphaned tracker races the coordinator's sweep and
+    warns about "leaked" segments at shutdown.  Starting the tracker in
+    the coordinator first means every forked worker inherits the shared
+    pipe, so register (worker) and unregister (coordinator sweep) meet
+    in the same tracker.  Best-effort: supervision works without it, it
+    is only quieter with it.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+    except Exception:  # pragma: no cover - non-POSIX or patched tracker
+        pass
 
 
 def _attach(name: str) -> shared_memory.SharedMemory:

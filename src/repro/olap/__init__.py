@@ -18,8 +18,13 @@ surface:
   path serves from.
 * :mod:`repro.olap.cache` — byte-budgeted, admission-controlled result
   caching in front of an engine.
-* :mod:`repro.olap.service` — a pool of store-backed worker processes
-  behind a shared queue and the pooled shared-memory data plane.
+* :mod:`repro.olap.service` — a supervised pool of store-backed worker
+  processes over the pooled shared-memory data plane, with retries,
+  deadlines, load shedding, and a poison-query circuit breaker.
+* :mod:`repro.olap.supervise` — worker supervision (heartbeats,
+  dead/hung detection, restart budget) and the serving failure surface
+  (:class:`ServicePolicy`, :class:`QueryTimeout`,
+  :class:`ServiceOverloaded`, :class:`PoisonQuery`).
 * :mod:`repro.olap.advisor` — greedy view selection (the paper's
   reference [12], Harinarayan-Rajaraman-Ullman) that produces the
   ``selected`` set a partial cube build consumes.
@@ -31,6 +36,12 @@ from repro.olap.index import AccessPlan, FenceIndex, SortedView
 from repro.olap.query import Query, QueryEngine, QueryPlan, QueryPlanner
 from repro.olap.service import QueryService
 from repro.olap.store import CubeStore, OpenCube
+from repro.olap.supervise import (
+    PoisonQuery,
+    QueryTimeout,
+    ServiceOverloaded,
+    ServicePolicy,
+)
 
 __all__ = [
     "AccessPlan",
@@ -39,12 +50,16 @@ __all__ = [
     "CubeStore",
     "FenceIndex",
     "OpenCube",
+    "PoisonQuery",
     "Query",
     "QueryEngine",
     "QueryPlan",
     "QueryPlanner",
     "QueryService",
+    "QueryTimeout",
     "ResultCache",
+    "ServiceOverloaded",
+    "ServicePolicy",
     "SortedView",
     "select_views",
 ]

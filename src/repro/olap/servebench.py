@@ -36,6 +36,7 @@ from repro.storage.sortkernels import sort_pairs
 __all__ = [
     "latency_percentiles",
     "run_at_rate",
+    "run_chaos",
     "serving_workload",
     "synthetic_serving_cube",
 ]
@@ -187,16 +188,27 @@ def run_at_rate(
     latency, not as a silently lowered offered rate).  Latency is
     scheduled-arrival → completion.  ``achieved_qps`` counts completions
     over the span from ``t0`` to the last completion.
+
+    Failure outcomes are split the way the supervised service splits
+    them: ``shed`` counts submissions refused by load shedding
+    (:class:`~repro.olap.supervise.ServiceOverloaded` — an arrival was
+    offered but never enqueued), ``deadline_timeouts`` counts tickets
+    failed with :class:`~repro.olap.supervise.QueryTimeout`, and
+    ``errors`` everything else.
     """
+    from repro.olap.supervise import QueryTimeout, ServiceOverloaded
+
     n_offered = max(int(offered_qps * duration_s), 1)
     interval = 1.0 / float(offered_qps)
     tickets: dict[int, float] = {}
     latencies: list[float] = []
     errors = 0
+    shed = 0
+    deadline_timeouts = 0
     last_done = t0 = time.monotonic()
 
     def harvest() -> None:
-        nonlocal errors, last_done
+        nonlocal errors, deadline_timeouts, last_done
         for ticket in service.poll():
             sched = tickets.pop(ticket, None)
             if sched is None:
@@ -204,6 +216,9 @@ def run_at_rate(
             done = service.completed_at.get(ticket, time.monotonic())
             try:
                 service.wait(ticket)
+            except QueryTimeout:
+                deadline_timeouts += 1
+                continue
             except Exception:
                 errors += 1
                 continue
@@ -219,7 +234,10 @@ def run_at_rate(
             time.sleep(min(sched - now, 0.002))
             continue
         query = queries[submitted % len(queries)]
-        tickets[service.submit(query)] = sched
+        try:
+            tickets[service.submit(query)] = sched
+        except ServiceOverloaded:
+            shed += 1
         submitted += 1
         harvest()
     deadline = time.monotonic() + drain_timeout_s
@@ -234,8 +252,106 @@ def run_at_rate(
         "submitted": submitted,
         "completed": completed,
         "errors": errors,
+        "shed": shed,
+        "deadline_timeouts": deadline_timeouts,
         "timed_out": len(tickets),
         "achieved_qps": completed / span,
+    }
+    result.update(latency_percentiles(latencies))
+    return result
+
+
+def run_chaos(
+    service: QueryService,
+    queries: Sequence[Query],
+    expected: dict,
+    offered_qps: float,
+    n_queries: int,
+    drain_timeout_s: float = 120.0,
+) -> dict:
+    """Drive a seeded workload against a (fault-injected) service and
+    score **availability**: the fraction of offered queries answered
+    *correctly* within their deadline.
+
+    Every harvested result is compared bit-for-bit against ``expected``
+    (the inline :class:`~repro.olap.query.QueryEngine` answers for the
+    same queries), so a retry that silently returned wrong bytes counts
+    against availability, not for it.  Shed submissions, deadline
+    misses, and errors are all unavailability — the denominator is
+    everything offered.
+    """
+    from repro.olap.supervise import (
+        PoisonQuery,
+        QueryTimeout,
+        ServiceOverloaded,
+    )
+
+    interval = 1.0 / float(offered_qps)
+    tickets: dict[int, tuple[float, Query]] = {}
+    latencies: list[float] = []
+    correct = mismatched = errors = shed = 0
+    deadline_timeouts = poisoned = 0
+    t0 = time.monotonic()
+
+    def harvest() -> None:
+        nonlocal correct, mismatched, errors, deadline_timeouts, poisoned
+        for ticket in service.poll():
+            entry = tickets.pop(ticket, None)
+            if entry is None:
+                continue
+            sched, query = entry
+            done = service.completed_at.get(ticket, time.monotonic())
+            try:
+                got = service.wait(ticket)
+            except QueryTimeout:
+                deadline_timeouts += 1
+                continue
+            except PoisonQuery:
+                poisoned += 1
+                continue
+            except Exception:
+                errors += 1
+                continue
+            want = expected[query]
+            if np.array_equal(want.dims, got.dims) and np.array_equal(
+                want.measure, got.measure
+            ):
+                correct += 1
+                latencies.append(done - sched)
+            else:
+                mismatched += 1
+
+    submitted = 0
+    while submitted < n_queries:
+        sched = t0 + submitted * interval
+        now = time.monotonic()
+        if now < sched:
+            harvest()
+            time.sleep(min(sched - now, 0.002))
+            continue
+        query = queries[submitted % len(queries)]
+        try:
+            tickets[service.submit(query)] = (sched, query)
+        except ServiceOverloaded:
+            shed += 1
+        submitted += 1
+        harvest()
+    drain_deadline = time.monotonic() + drain_timeout_s
+    while tickets and time.monotonic() < drain_deadline:
+        harvest()
+        time.sleep(0.001)
+    wall_s = time.monotonic() - t0
+    result = {
+        "offered": submitted,
+        "correct_within_deadline": correct,
+        "mismatched": mismatched,
+        "errors": errors,
+        "shed": shed,
+        "deadline_timeouts": deadline_timeouts,
+        "poisoned": poisoned,
+        "undrained": len(tickets),
+        "availability": correct / max(submitted, 1),
+        "wall_seconds": round(wall_s, 3),
     }
     result.update(latency_percentiles(latencies))
     return result

@@ -1,4 +1,4 @@
-"""A concurrent OLAP query service over a stored cube.
+"""A supervised, fault-tolerant OLAP query service over a stored cube.
 
 :class:`QueryService` fronts one :class:`~repro.olap.store.CubeStore`
 directory with a pool of **worker processes**.  Each worker mmap-opens
@@ -10,6 +10,29 @@ the pooled shared-memory data plane of :mod:`repro.mpi.shm` — the same
 machinery the SPMD backend uses for collectives, so large results cross
 the process boundary without a pickle copy of their arrays.
 
+The pool runs under a :class:`~repro.olap.supervise.ServiceSupervisor`
+with the same failure taxonomy as the build engine's degraded-mode
+runtime (:func:`~repro.mpi.errors.classify_failure`):
+
+* a SIGKILLed or crashed worker is detected as
+  :class:`~repro.mpi.errors.RankDead` within about one heartbeat
+  interval, its in-flight queries are **reassigned** with bounded
+  retries and exponential backoff, and a replacement is spawned into
+  its slot up to the restart budget;
+* a worker silent past ``suspect_after`` while holding work is a
+  straggler declared :class:`~repro.mpi.errors.RankHung`, killed, and
+  replaced — slow workers are failures, not a special case;
+* every result blob carries a CRC over its arrays; a corrupt blob (or
+  one whose segments died with its worker) is re-executed elsewhere;
+* queries that repeatedly kill workers trip a **poison circuit
+  breaker** (:class:`~repro.olap.supervise.PoisonQuery`) instead of
+  felling the whole pool;
+* per-query **deadlines** are enforced on both sides (worker-side shed
+  of already-expired tasks, coordinator-side
+  :class:`~repro.olap.supervise.QueryTimeout`), and a bounded task
+  queue sheds load explicitly
+  (:class:`~repro.olap.supervise.ServiceOverloaded`).
+
 The coordinator keeps a byte-budgeted, admission-controlled
 :class:`~repro.olap.cache.ResultCache` in front of the pool and dedups
 identical in-flight queries, so a dashboard stampede on one hot query
@@ -19,27 +42,98 @@ owning worker, which returns them to its arena pool — steady-state
 serving creates no new segments.
 
 The API is deliberately queue-shaped for closed-loop benchmarking
-(``benchmarks/bench_serving.py``): ``submit`` enqueues and returns a
-ticket, ``wait`` collects, ``answer`` is the synchronous round trip.
+(``benchmarks/bench_serving.py``, ``benchmarks/bench_serving_chaos.py``):
+``submit`` enqueues and returns a ticket, ``wait`` collects, ``answer``
+is the synchronous round trip.
 """
 
 from __future__ import annotations
 
+import builtins
+import heapq
 import multiprocessing as mp
 import os
 import queue as queue_mod
+import signal
 import time
-from typing import Iterable, Sequence
+import zlib
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Sequence
 
-from repro.mpi.shm import SegmentArena, decode, encode, sweep_orphans
+import numpy as np
+
+from repro.mpi import errors as mpi_errors
+from repro.mpi.errors import CorruptPayload, RankDead, classify_failure
+from repro.mpi.faults import ServeFaultPlan
+from repro.mpi.shm import SegmentArena, _attach, decode, encode, sweep_orphans
 from repro.olap.cache import ResultCache, result_nbytes
 from repro.olap.query import Query, QueryEngine
+from repro.olap.supervise import (
+    PoisonQuery,
+    QueryTimeout,
+    ServiceOverloaded,
+    ServicePolicy,
+    ServiceSupervisor,
+    WorkerHandle,
+)
 from repro.storage.table import Relation
 
-__all__ = ["QueryService"]
+__all__ = [
+    "PoisonQuery",
+    "QueryService",
+    "QueryTimeout",
+    "ServiceOverloaded",
+    "ServicePolicy",
+]
 
 _SHUTDOWN = None  # task-queue sentinel
 _ACK_GRACE_SECONDS = 0.25
+
+
+def _result_crc(dims: np.ndarray, measure: np.ndarray) -> int:
+    """Integrity stamp over a result's canonical bytes."""
+    crc = zlib.crc32(repr((dims.shape, measure.shape)).encode())
+    crc = zlib.crc32(np.ascontiguousarray(dims).tobytes(), crc)
+    return zlib.crc32(np.ascontiguousarray(measure).tobytes(), crc)
+
+
+def _flip_result_blob(blob):
+    """Corrupt an encoded result after its CRC was stamped.
+
+    Packed blobs get one byte flipped inside the shared segment (decode
+    succeeds, the CRC check catches it); inline blobs get a byte flipped
+    in the pickle stream (decode itself fails — also caught)."""
+    if blob.segments and blob.arrays:
+        _, offset, _, _ = blob.arrays[0]
+        seg = _attach(blob.segments[0])
+        try:
+            seg.buf[offset] ^= 0xFF
+        finally:
+            seg.close()
+        return blob
+    data = bytearray(blob.data)
+    if data:
+        data[len(data) // 2] ^= 0xFF
+    return replace(blob, data=bytes(data))
+
+
+def _rebuild_exception(type_name: str, message: str) -> Exception:
+    """Re-raise a worker-side failure as its original exception type.
+
+    Workers relay ``(type name, str(exc))``; the coordinator rebuilds
+    the matching class from builtins or the MPI error taxonomy so a
+    caller can distinguish a ``KeyError`` in its query from an engine
+    bug, falling back to ``RuntimeError`` for exotic types."""
+    cls = getattr(builtins, type_name, None)
+    if cls is None:
+        cls = getattr(mpi_errors, type_name, None)
+    if not (isinstance(cls, type) and issubclass(cls, Exception)):
+        cls = RuntimeError
+    try:
+        return cls(message)
+    except Exception:  # pragma: no cover - constructor-picky type
+        return RuntimeError(message)
 
 
 def _drain_acks(ack_q, arena: SegmentArena) -> None:
@@ -47,7 +141,7 @@ def _drain_acks(ack_q, arena: SegmentArena) -> None:
     while True:
         try:
             names = ack_q.get_nowait()
-        except queue_mod.Empty:
+        except (queue_mod.Empty, OSError, EOFError):
             return
         if names:
             arena.recycle(names)
@@ -55,13 +149,24 @@ def _drain_acks(ack_q, arena: SegmentArena) -> None:
 
 def _worker_main(
     worker_id: int,
+    generation: int,
     store_path: str,
     index: bool,
     task_q,
     result_q,
     ack_q,
+    heartbeats,
+    heartbeat_interval: float,
+    serve_faults: ServeFaultPlan | None,
 ) -> None:
-    """One serving worker: open the store, answer until the sentinel."""
+    """One serving worker: open the store, answer until the sentinel.
+
+    The worker stamps its heartbeat slot every pass through the loop —
+    while idle it beats every poll slice; inside a query it goes silent,
+    which is the straggler signal the supervisor watches for.  Tasks
+    whose deadline already passed are shed without execution (the soft,
+    between-tasks half of deadline enforcement).
+    """
     from repro.olap.store import CubeStore
 
     handle = CubeStore.open(store_path)
@@ -71,19 +176,73 @@ def _worker_main(
         index=index,
     )
     arena = SegmentArena(pooled=True)
+    faults = (
+        serve_faults.schedule(worker_id, generation)
+        if serve_faults is not None
+        else None
+    )
+    poll_s = max(heartbeat_interval / 2.0, 0.005)
+    executed = 0
     try:
         while True:
-            task = task_q.get()
+            heartbeats[worker_id] = time.monotonic()
+            try:
+                task = task_q.get(timeout=poll_s)
+            except queue_mod.Empty:
+                _drain_acks(ack_q, arena)
+                continue
             _drain_acks(ack_q, arena)
             if task is _SHUTDOWN:
                 break
-            seq, query = task
+            seq, attempt, query, deadline = task
+            heartbeats[worker_id] = time.monotonic()
+            if deadline is not None and time.monotonic() >= deadline:
+                result_q.put(
+                    (
+                        worker_id,
+                        generation,
+                        seq,
+                        attempt,
+                        None,
+                        0,
+                        (
+                            "QueryTimeout",
+                            f"deadline already passed when worker "
+                            f"{worker_id} dequeued the task",
+                        ),
+                    )
+                )
+                continue
+            query_index = executed
+            executed += 1
+            if faults is not None:
+                hang = faults.hang_seconds(query_index)
+                if hang is not None:
+                    time.sleep(hang)
+                if query_index in faults.kill_at:
+                    os.kill(os.getpid(), signal.SIGKILL)
             try:
                 result = engine.answer(query)
+                crc = _result_crc(result.dims, result.measure)
                 blob = encode((result.dims, result.measure), arena)
-                result_q.put((worker_id, seq, blob, None))
+                if faults is not None and query_index in faults.corrupt_at:
+                    blob = _flip_result_blob(blob)
+                result_q.put(
+                    (worker_id, generation, seq, attempt, blob, crc, None)
+                )
             except Exception as exc:  # noqa: BLE001 - relayed to caller
-                result_q.put((worker_id, seq, None, repr(exc)))
+                result_q.put(
+                    (
+                        worker_id,
+                        generation,
+                        seq,
+                        attempt,
+                        None,
+                        0,
+                        (type(exc).__name__, str(exc)),
+                    )
+                )
+            heartbeats[worker_id] = time.monotonic()
     finally:
         # Give in-flight acks a moment to land, then drop the arena —
         # close() unlinks anything never recycled, and the coordinator
@@ -96,8 +255,23 @@ def _worker_main(
         arena.close()
 
 
+@dataclass
+class _Flight:
+    """One in-flight query execution (shared by all its waiters)."""
+
+    seq: int
+    query: Query
+    attempt: int = 0
+    assigned: WorkerHandle | None = None
+    submitted_at: float = 0.0
+    deadline: float | None = None
+    #: Waiters already failed with QueryTimeout; the flight lingers only
+    #: so a late result / worker death can be reconciled cleanly.
+    zombie: bool = False
+
+
 class QueryService:
-    """A pool of store-backed query workers behind a result cache.
+    """A supervised pool of store-backed query workers behind a cache.
 
     Parameters
     ----------
@@ -112,6 +286,14 @@ class QueryService:
     index:
         ``False`` pins every worker to the scan path — the A/B lever of
         the serving benchmark.
+    policy:
+        The service's failure posture — supervision cadence, deadlines,
+        retry/backoff bounds, queue depth, poison threshold, restart
+        budget (see :class:`~repro.olap.supervise.ServicePolicy`).
+    serve_faults:
+        Optional :class:`~repro.mpi.faults.ServeFaultPlan` injected into
+        the workers (chaos testing; see the ``--serve-faults`` CLI
+        grammar).
     """
 
     def __init__(
@@ -122,119 +304,471 @@ class QueryService:
         admit_fraction: float = 0.25,
         index: bool = True,
         start_method: str = "fork",
+        policy: ServicePolicy | None = None,
+        serve_faults: ServeFaultPlan | None = None,
     ):
+        # Bookkeeping __del__ touches is initialised before anything can
+        # raise, so a failed construction tears down silently.
+        self._closed = True
+        self._sup: ServiceSupervisor | None = None
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        # Validate the store before forking anything: a bad path should
+        # fail the constructor, not crash-loop every worker through the
+        # restart budget.  (Local import: store is a sibling serving
+        # module, imported lazily like the workers do.)
+        from repro.olap.store import CubeStore
+
+        CubeStore._read_manifest(store_path)
         self.store_path = store_path
         self.workers = int(workers)
         self.index = bool(index)
+        self.policy = policy if policy is not None else ServicePolicy()
+        self.serve_faults = serve_faults
         self._cache = (
             ResultCache(byte_budget, admit_fraction=admit_fraction)
             if byte_budget is not None
             else None
         )
         ctx = mp.get_context(start_method)
-        self._task_q = ctx.Queue()
         self._result_q = ctx.Queue()
-        self._ack_qs = [ctx.Queue() for _ in range(self.workers)]
-        self._procs = []
         self._seq = 0
-        self._pending: dict[int, Query] = {}  # sent seq -> query
+        self._flights: dict[int, _Flight] = {}
         self._waiters: dict[Query, list[int]] = {}  # query -> tickets
         self._results: dict[int, Relation | Exception] = {}
+        self._dispatchq: deque[int] = deque()
+        self._retry_heap: list[tuple[float, int]] = []
+        self._death_counts: dict[Query, int] = {}
+        self._quarantined: set[Query] = set()
         #: Monotonic completion time per resolved ticket (for latency
         #: measurement by the closed-loop benchmark; popped with wait).
         self.completed_at: dict[int, float] = {}
         self.submitted = 0
         self.executed = 0
-        self._closed = False
-        for wid in range(self.workers):
-            proc = ctx.Process(
+        self.shed = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.worker_deaths = 0
+        self.worker_hangs = 0
+        self.poisoned = 0
+        self.corrupt_results = 0
+
+        def start_worker(slot, generation, task_q, ack_q, heartbeats):
+            return ctx.Process(
                 target=_worker_main,
                 args=(
-                    wid,
+                    slot,
+                    generation,
                     store_path,
                     self.index,
-                    self._task_q,
+                    task_q,
                     self._result_q,
-                    self._ack_qs[wid],
+                    ack_q,
+                    heartbeats,
+                    self.policy.heartbeat_interval,
+                    serve_faults,
                 ),
                 daemon=True,
             )
-            proc.start()
-            self._procs.append(proc)
+
+        self._sup = ServiceSupervisor(
+            ctx, self.workers, self.policy, start_worker
+        )
+        self._closed = False
+
+    @property
+    def _procs(self) -> list:
+        """Live worker processes (compatibility shim for callers that
+        enumerated the pool before supervision existed)."""
+        return [h.proc for h in self._sup.live()] if self._sup else []
 
     # -- submission --------------------------------------------------------
 
-    def submit(self, query: Query) -> int:
+    def submit(
+        self, query: Query, deadline_s: float | None = None
+    ) -> int:
         """Enqueue a query; returns a ticket for :meth:`wait`.
 
         Cache hits resolve immediately; an identical query already in
-        flight is joined rather than re-executed.
+        flight is joined rather than re-executed.  ``deadline_s``
+        overrides the policy's default per-query deadline.  Raises
+        :class:`ServiceOverloaded` when the in-flight queue is at
+        ``policy.max_queue_depth`` — callers should back off.
         """
         if self._closed:
             raise RuntimeError("QueryService is closed")
-        self._seq += 1
-        ticket = self._seq
-        self.submitted += 1
+        if query in self._quarantined:
+            self._seq += 1
+            ticket = self._seq
+            self.submitted += 1
+            self._results[ticket] = PoisonQuery(
+                f"{query.describe()} is quarantined: it killed "
+                f"{self._death_counts.get(query, 0)} workers"
+            )
+            self.completed_at[ticket] = time.monotonic()
+            return ticket
         if self._cache is not None:
             cached = self._cache.get(query)
             if cached is not None:
+                self._seq += 1
+                ticket = self._seq
+                self.submitted += 1
                 self._results[ticket] = cached
                 self.completed_at[ticket] = time.monotonic()
                 return ticket
         waiters = self._waiters.get(query)
         if waiters is not None:
+            self._seq += 1
+            ticket = self._seq
+            self.submitted += 1
             waiters.append(ticket)
             return ticket
+        if len(self._flights) >= self.policy.max_queue_depth:
+            self.shed += 1
+            raise ServiceOverloaded(
+                f"{len(self._flights)} queries in flight >= "
+                f"max_queue_depth {self.policy.max_queue_depth}; "
+                "back off and retry"
+            )
+        self._seq += 1
+        ticket = self._seq
+        self.submitted += 1
+        now = time.monotonic()
+        if deadline_s is None:
+            deadline_s = self.policy.deadline_s
+        flight = _Flight(
+            seq=ticket,
+            query=query,
+            submitted_at=now,
+            deadline=None if deadline_s is None else now + deadline_s,
+        )
         self._waiters[query] = [ticket]
-        self._pending[ticket] = query
-        self._task_q.put((ticket, query))
+        self._flights[ticket] = flight
+        self._dispatchq.append(ticket)
+        self._dispatch()
         return ticket
 
-    # -- collection --------------------------------------------------------
+    # -- the event loop ----------------------------------------------------
 
-    def _collect_one(self, timeout: float | None) -> None:
-        """Block for one worker result and fulfill its waiters."""
-        try:
-            worker_id, seq, blob, err = self._result_q.get(
-                timeout=timeout
-            )
-        except queue_mod.Empty:
-            raise TimeoutError(
-                f"no result within {timeout:.3f}s "
-                f"({len(self._pending)} queries in flight)"
-            ) from None
-        query = self._pending.pop(seq)
+    def _pump(self, budget: float) -> None:
+        """One event-loop slice: collect results (blocking up to
+        ``budget``), supervise workers, enforce deadlines, release
+        backed-off retries, and dispatch ready work."""
+        self._drain_results(budget)
+        now = time.monotonic()
+        self._supervise(now)
+        self._enforce_deadlines(now)
+        self._release_retries(now)
+        self._dispatch()
+
+    def _drain_results(self, budget: float) -> None:
+        """Collect every available worker result; the first receive may
+        block up to ``budget`` seconds."""
+        timeout = budget
+        while True:
+            try:
+                if timeout > 0:
+                    msg = self._result_q.get(timeout=timeout)
+                else:
+                    msg = self._result_q.get_nowait()
+            except queue_mod.Empty:
+                return
+            except (EOFError, OSError):  # pragma: no cover - torn pipe
+                # A worker SIGKILLed mid-send can tear the stream; the
+                # lost message is reconciled by the death path.
+                return
+            timeout = 0.0
+            self._on_result(msg)
+
+    def _on_result(self, msg) -> None:
+        slot, generation, seq, attempt, blob, crc, err = msg
+        handle = self._sup.slots[slot]
+        current = (
+            handle is not None and handle.generation == generation
+        )
+        if current:
+            handle.outstanding.pop(seq, None)
+        flight = self._flights.get(seq)
+        stale = flight is None or flight.attempt != attempt
         if err is not None:
-            outcome: Relation | Exception = RuntimeError(
-                f"worker {worker_id} failed on {query.describe()}: {err}"
+            if stale:
+                return
+            if flight.zombie:
+                self._flights.pop(seq, None)
+                return
+            if err[0] == "QueryTimeout":
+                # Worker-side shed: the deadline passed in queue.
+                self._fail_flight(
+                    flight,
+                    QueryTimeout(
+                        f"{flight.query.describe()} shed by worker "
+                        f"{slot}: {err[1]}"
+                    ),
+                )
+                self.timeouts += 1
+                return
+            # A query error from a healthy worker is deterministic —
+            # re-raise the original type to all waiters, no retry.
+            self._fail_flight(
+                flight,
+                _rebuild_exception(
+                    err[0],
+                    f"worker {slot} failed on "
+                    f"{flight.query.describe()}: {err[1]}",
+                ),
             )
-        else:
+            return
+        outcome = None
+        try:
             dims, measure = decode(blob)
-            if blob.segments:
-                self._ack_qs[worker_id].put(blob.segments)
+            if _result_crc(dims, measure) != crc:
+                raise CorruptPayload(
+                    f"result blob from worker {slot} failed its CRC "
+                    f"check (stamped {crc:#010x})",
+                    rank=slot,
+                )
             outcome = Relation(dims, measure)
-            self.executed += 1
-            if self._cache is not None:
-                self._cache.put(query, outcome, result_nbytes(outcome))
+        except Exception as exc:
+            # Decode blew up (corrupted stream, or segments that died
+            # with their worker) or the CRC mismatched: the *transport*
+            # failed, not the query — retry it elsewhere.
+            if blob.segments and current and handle.alive():
+                self._ack(handle, blob)
+            if stale:
+                return
+            self.corrupt_results += 1
+            self._retry_or_fail(
+                flight,
+                exc
+                if isinstance(exc, CorruptPayload)
+                else CorruptPayload(
+                    f"result blob from worker {slot} unreadable: "
+                    f"{type(exc).__name__}: {exc}",
+                    rank=slot,
+                ),
+            )
+            return
+        if blob.segments and current and handle.alive():
+            self._ack(handle, blob)
+        if stale or flight.zombie:
+            if flight is not None and flight.zombie:
+                self._flights.pop(seq, None)
+            return
+        self.executed += 1
+        if self._cache is not None:
+            self._cache.put(
+                flight.query, outcome, result_nbytes(outcome)
+            )
+        self._resolve(flight, outcome)
+
+    @staticmethod
+    def _ack(handle: WorkerHandle, blob) -> None:
+        try:
+            handle.ack_q.put(blob.segments)
+        except Exception:  # pragma: no cover - racing a fresh death
+            pass
+
+    def _resolve(self, flight: _Flight, outcome) -> None:
+        """Fulfil every waiter of a flight and forget it."""
+        self._flights.pop(flight.seq, None)
         done = time.monotonic()
-        for ticket in self._waiters.pop(query):
+        for ticket in self._waiters.pop(flight.query, []):
             self._results[ticket] = outcome
             self.completed_at[ticket] = done
 
+    def _fail_flight(self, flight: _Flight, exc: Exception) -> None:
+        self._resolve(flight, exc)
+
+    def _retry_or_fail(self, flight: _Flight, exc: Exception) -> None:
+        """Reassign a flight after a worker failure, within budget."""
+        flight.assigned = None
+        if flight.zombie:
+            self._flights.pop(flight.seq, None)
+            return
+        if flight.attempt >= self.policy.max_retries:
+            self._fail_flight(
+                flight,
+                type(exc)(
+                    f"{flight.query.describe()} failed after "
+                    f"{flight.attempt + 1} attempts: {exc}"
+                ),
+            )
+            return
+        flight.attempt += 1
+        self.retries += 1
+        ready = time.monotonic() + self.policy.backoff(flight.attempt)
+        heapq.heappush(self._retry_heap, (ready, flight.seq))
+
+    def _supervise(self, now: float) -> None:
+        """Detect dead / hung workers and absorb the failures."""
+        if self._sup is None:
+            return
+        for handle, exc in self._sup.check(now):
+            self._on_worker_failure(handle, exc)
+
+    def _on_worker_failure(
+        self, handle: WorkerHandle, exc: Exception
+    ) -> None:
+        # RankHung classifies transient (the node is alive, merely
+        # slow), RankDead permanent — the same taxonomy degraded-mode
+        # recovery uses.  Either way the worker is replaced; the labels
+        # feed the counters and the restart log.
+        kind, _culprit = classify_failure(exc)
+        hung = kind != mpi_errors.PERMANENT
+        if hung:
+            self.worker_hangs += 1
+            # A straggler past its deadline is replaced, not waited on.
+            self._sup.kill(handle)
+        else:
+            self.worker_deaths += 1
+        # Collect anything the worker managed to flush before dying so
+        # completed queries are not needlessly re-executed.
+        self._drain_results(0.0)
+        self._sup.retire(handle)
+        for seq, attempt in list(handle.outstanding.items()):
+            flight = self._flights.get(seq)
+            if flight is None or flight.attempt != attempt:
+                continue
+            if flight.zombie:
+                self._flights.pop(seq, None)
+                continue
+            deaths = self._death_counts.get(flight.query, 0) + 1
+            self._death_counts[flight.query] = deaths
+            if deaths >= self.policy.poison_threshold:
+                # Circuit breaker: retrying would only fell the next
+                # replacement too.
+                self._quarantined.add(flight.query)
+                self.poisoned += 1
+                self._fail_flight(
+                    flight,
+                    PoisonQuery(
+                        f"{flight.query.describe()} killed {deaths} "
+                        f"workers (threshold "
+                        f"{self.policy.poison_threshold}); quarantined "
+                        f"and failed to all waiters"
+                    ),
+                )
+                continue
+            self._retry_or_fail(flight, exc)
+        handle.outstanding.clear()
+        if handle.pid is not None:
+            # Anything the dead worker never recycled.  Undecoded
+            # results referencing a swept segment fail decode and are
+            # retried — handled above.
+            sweep_orphans([handle.pid])
+        if not self._closed:
+            cause = "hung" if hung else "died"
+            if self._sup.respawn(handle.slot, cause) is None and not (
+                self._sup.live()
+            ):
+                # Pool extinct and the restart budget is spent: fail
+                # everything queued rather than stranding the waiters.
+                for seq in list(self._flights):
+                    flight = self._flights.get(seq)
+                    if flight is not None:
+                        self._fail_flight(
+                            flight,
+                            RankDead(
+                                "no live serving workers left and the "
+                                f"restart budget "
+                                f"({self.policy.max_restarts}) is "
+                                f"exhausted: {exc}"
+                            ),
+                        )
+                self._dispatchq.clear()
+                self._retry_heap.clear()
+
+    def _enforce_deadlines(self, now: float) -> None:
+        """Coordinator-side hard deadline: fail the waiters, keep the
+        ticket bookkeeping consistent for the late result."""
+        for seq in list(self._flights):
+            flight = self._flights.get(seq)
+            if (
+                flight is None
+                or flight.zombie
+                or flight.deadline is None
+                or now < flight.deadline
+            ):
+                continue
+            self.timeouts += 1
+            done = time.monotonic()
+            exc = QueryTimeout(
+                f"{flight.query.describe()} missed its "
+                f"{flight.deadline - flight.submitted_at:.3f}s deadline "
+                f"(attempt {flight.attempt + 1})"
+            )
+            for ticket in self._waiters.pop(flight.query, []):
+                self._results[ticket] = exc
+                self.completed_at[ticket] = done
+            if flight.assigned is None:
+                # Never dispatched (queued or backing off): nothing to
+                # reconcile later, drop it now.
+                self._flights.pop(seq, None)
+            else:
+                flight.zombie = True
+
+    def _release_retries(self, now: float) -> None:
+        while self._retry_heap and self._retry_heap[0][0] <= now:
+            _, seq = heapq.heappop(self._retry_heap)
+            if seq in self._flights:
+                self._dispatchq.append(seq)
+
+    def _dispatch(self) -> None:
+        """Assign queued flights to the least-loaded live workers."""
+        if self._sup is None:
+            return
+        while self._dispatchq:
+            seq = self._dispatchq[0]
+            flight = self._flights.get(seq)
+            if (
+                flight is None
+                or flight.zombie
+                or flight.assigned is not None
+            ):
+                self._dispatchq.popleft()
+                continue
+            live = self._sup.live()
+            if not live:
+                # Wait for a respawn; extinction is handled by the
+                # failure path, which clears this queue.
+                return
+            handle = min(live, key=lambda h: (len(h.outstanding), h.slot))
+            self._dispatchq.popleft()
+            flight.assigned = handle
+            handle.outstanding[seq] = flight.attempt
+            try:
+                handle.task_q.put(
+                    (seq, flight.attempt, flight.query, flight.deadline)
+                )
+            except Exception:  # pragma: no cover - racing a fresh death
+                # The supervisor will observe the death and requeue.
+                pass
+
+    # -- collection --------------------------------------------------------
+
     def wait(self, ticket: int, timeout: float | None = None) -> Relation:
-        """The result for ``ticket`` (collecting others on the way)."""
+        """The result for ``ticket`` (collecting others on the way).
+
+        ``timeout`` bounds the **total** wait: even while other tickets'
+        results keep arriving, ``TimeoutError`` is raised once the
+        deadline passes.
+        """
         deadline = (
             None if timeout is None else time.monotonic() + timeout
         )
         while ticket not in self._results:
-            remaining = (
-                None
-                if deadline is None
-                else max(deadline - time.monotonic(), 0.001)
-            )
-            self._collect_one(remaining)
+            if ticket > self._seq:
+                raise KeyError(f"unknown ticket {ticket}")
+            now = time.monotonic()
+            if deadline is not None and now >= deadline:
+                raise TimeoutError(
+                    f"ticket {ticket} unresolved after {timeout:.3f}s "
+                    f"({len(self._flights)} queries in flight)"
+                )
+            budget = self.policy.heartbeat_interval
+            if deadline is not None:
+                budget = min(budget, max(deadline - now, 0.001))
+            self._pump(budget)
         outcome = self._results.pop(ticket)
         self.completed_at.pop(ticket, None)
         if isinstance(outcome, Exception):
@@ -244,11 +778,7 @@ class QueryService:
     def poll(self) -> list[int]:
         """Collect every already-available result without blocking;
         returns the tickets now resolvable via :meth:`wait`."""
-        while self._pending:
-            try:
-                self._collect_one(timeout=0.001)
-            except TimeoutError:
-                break
+        self._pump(0.0)
         return list(self._results)
 
     # -- convenience -------------------------------------------------------
@@ -267,45 +797,81 @@ class QueryService:
     # -- lifecycle ---------------------------------------------------------
 
     def stats(self) -> dict:
-        """Coordinator-side counters (cache + dedup effectiveness)."""
+        """Coordinator-side counters (cache, dedup, and failure
+        handling effectiveness)."""
         out = {
             "workers": self.workers,
+            "live_workers": len(self._sup.live()) if self._sup else 0,
             "index": self.index,
             "submitted": self.submitted,
             "executed": self.executed,
-            "in_flight": len(self._pending),
+            "in_flight": len(self._flights),
+            "shed": self.shed,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "worker_deaths": self.worker_deaths,
+            "worker_hangs": self.worker_hangs,
+            "restarts": self._sup.restarts if self._sup else 0,
+            "poisoned": self.poisoned,
+            "corrupt_results": self.corrupt_results,
         }
         if self._cache is not None:
             out["cache"] = self._cache.snapshot()
         return out
 
     def close(self, timeout: float = 10.0) -> None:
-        """Drain in-flight work, stop the pool, sweep leaked segments."""
+        """Drain in-flight work, stop the pool, sweep leaked segments.
+
+        Outstanding queries that cannot finish before ``timeout`` — or
+        at all, because every worker is gone — fail their waiters with
+        ``RuntimeError`` instead of stranding them.
+        """
         if self._closed:
             return
         self._closed = True
         deadline = time.monotonic() + timeout
         try:
-            while self._pending and time.monotonic() < deadline:
-                try:
-                    self._collect_one(timeout=0.2)
-                except TimeoutError:
-                    continue
+            while self._flights and time.monotonic() < deadline:
+                self._pump(0.05)
+                if self._flights and not self._sup.live():
+                    break  # nobody left to finish the work
         except Exception:  # pragma: no cover - teardown is best-effort
             pass
-        for _ in self._procs:
-            self._task_q.put(_SHUTDOWN)
-        pids = [proc.pid for proc in self._procs]
-        for proc in self._procs:
-            proc.join(max(deadline - time.monotonic(), 0.5))
-            if proc.is_alive():  # pragma: no cover - stuck worker
-                proc.terminate()
-                proc.join(1.0)
-        # Anything a killed worker never unlinked.
-        sweep_orphans([pid for pid in pids if pid is not None])
-        for q in (self._task_q, self._result_q, *self._ack_qs):
-            q.close()
-            q.join_thread()
+        for seq in list(self._flights):
+            flight = self._flights.get(seq)
+            if flight is not None:
+                self._fail_flight(
+                    flight,
+                    RuntimeError(
+                        f"QueryService closed with "
+                        f"{flight.query.describe()} unfinished"
+                    ),
+                )
+        self._dispatchq.clear()
+        self._retry_heap.clear()
+        live = self._sup.live() if self._sup else []
+        for handle in live:
+            try:
+                handle.task_q.put(_SHUTDOWN)
+            except Exception:  # pragma: no cover - racing a death
+                pass
+        for handle in live:
+            handle.proc.join(max(deadline - time.monotonic(), 0.5))
+            if handle.proc.is_alive():  # pragma: no cover - stuck worker
+                handle.proc.terminate()
+                handle.proc.join(1.0)
+        # Anything any worker generation ever leaked.
+        if self._sup is not None:
+            sweep_orphans(self._sup.all_pids)
+        queues = [self._result_q]
+        for handle in live:
+            queues.extend([handle.task_q, handle.ack_q])
+        for q in queues:
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except Exception:  # pragma: no cover - already closed
+                pass
 
     def __enter__(self) -> "QueryService":
         return self
@@ -315,9 +881,10 @@ class QueryService:
 
     def __del__(self):  # pragma: no cover - interpreter teardown
         try:
-            if not self._closed and any(
-                p.is_alive() for p in self._procs
-            ):
+            if getattr(self, "_closed", True):
+                return
+            sup = getattr(self, "_sup", None)
+            if sup is not None and sup.live():
                 self.close(timeout=2.0)
         except Exception:
             pass

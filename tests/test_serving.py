@@ -408,9 +408,12 @@ class TestQueryService:
         for r in results + [again]:
             assert np.array_equal(r.measure, results[0].measure)
 
-    def test_error_relayed(self, store_path):
+    def test_error_relayed_with_original_type(self, store_path):
+        # the worker's exception type crosses the queue: the engine
+        # raises LookupError for an uncovered view, and the caller sees
+        # LookupError (not a generic RuntimeError wrapper)
         with QueryService(store_path, workers=1) as service:
-            with pytest.raises(RuntimeError, match="worker 0"):
+            with pytest.raises(LookupError, match="worker 0"):
                 service.answer(Query(group_by=(9,)), timeout=60)
             # the pool still serves after a failed query
             ok = service.answer(Query(group_by=(1,)), timeout=60)
