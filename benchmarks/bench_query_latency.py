@@ -1,5 +1,11 @@
 """Beyond the paper: what the γ balance contract buys at query time.
 
+Two experiments: the original balance A/B (below), and an access-path
+matrix covering all three serving lanes — full scan, fence-index
+``searchsorted``, and the format-3 dense block-offset path — over the
+same store, asserting bit-identical answers and recording p50 latency
+per lane.
+
 The paper motivates balancing every view across processors with
 "maximum I/O bandwidth for subsequent parallel disk accesses".  This
 bench builds two cubes from skewed data — the paper's adaptive merge vs
@@ -11,6 +17,7 @@ build (the paper claims 40-60% of communication overhead is maskable).
 """
 
 import json
+import time
 
 import numpy as np
 from conftest import record
@@ -20,8 +27,9 @@ from repro.bench.reporting import format_kv_block
 from repro.config import CubeConfig, MachineSpec
 from repro.core.cube import build_data_cube
 from repro.core.overlap import analyze_overlap
-from repro.data.generator import paper_preset
-from repro.olap import Query, QueryEngine
+from repro.data.generator import DatasetSpec, generate_dataset, paper_preset
+from repro.olap import CubeStore, Query, QueryEngine
+from repro.storage.reorder import reorder_relation
 
 
 def _imbalance(cube, view) -> float:
@@ -113,3 +121,104 @@ def test_query_latency_vs_balance(benchmark, scale, results_dir):
     assert t_bal <= t_loose * 1.1
     # The paper's 40-60% masking estimate should be within reach.
     assert overlap.masked_fraction > 0.2
+
+
+CARDS_AP = (24, 16, 10, 8)
+
+
+def test_access_path_matrix(benchmark, scale, results_dir, tmp_path):
+    """Scan vs index vs dense on one reordered hybrid store."""
+
+    def run():
+        rel = generate_dataset(
+            DatasetSpec(
+                n=scale.n_base,
+                cardinalities=CARDS_AP,
+                alphas=(1.2, 0.9, 0.6, 0.3),
+                seed=43,
+                scramble=True,
+            )
+        )
+        reordered, vr = reorder_relation(rel, CARDS_AP)
+        cube = build_data_cube(reordered, CARDS_AP, MachineSpec(p=2))
+        path = CubeStore.save(
+            cube,
+            str(tmp_path / "hybrid"),
+            format=3,
+            reorder=vr,
+            block_cells=256,
+        )
+        handle = CubeStore.open(path)
+        lanes = {
+            "scan": handle.query_engine(index=False),
+            "index": handle.query_engine(index=True),
+        }
+        # hot-corner point lookups: original values whose reordered
+        # codes are small, so their keys land in dense blocks
+        rng = np.random.default_rng(5)
+        queries = [
+            Query(
+                group_by=(),
+                filters={
+                    dim: (int(vr.inverse[dim][rng.integers(0, 3)]),) * 2
+                    for dim in range(len(CARDS_AP))
+                },
+            )
+            for _ in range(60)
+        ]
+        dense_hits = sum(
+            lanes["index"].explain(q).access_path == "dense"
+            for q in queries
+        )
+        p50 = {}
+        identical = True
+        reference = [lanes["scan"].answer(q) for q in queries]
+        for name, engine in lanes.items():
+            best = np.full(len(queries), np.inf)
+            for _ in range(3):
+                for i, q in enumerate(queries):
+                    t0 = time.perf_counter()
+                    got = engine.answer(q)
+                    best[i] = min(best[i], time.perf_counter() - t0)
+                    if not (
+                        np.array_equal(got.dims, reference[i].dims)
+                        and np.array_equal(
+                            got.measure, reference[i].measure
+                        )
+                    ):
+                        identical = False
+            p50[name] = float(np.percentile(best, 50) * 1e6)
+        return p50, dense_hits, len(queries), identical
+
+    p50, dense_hits, n_queries, identical = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    pairs = [
+        ("point queries", str(n_queries)),
+        ("resolved via dense path", f"{dense_hits}/{n_queries}"),
+        ("scan p50", f"{p50['scan']:.0f} us"),
+        ("index/dense p50", f"{p50['index']:.0f} us"),
+        ("all paths bit-identical", str(identical)),
+    ]
+    record(
+        results_dir,
+        "access_paths",
+        format_kv_block("Access-path latency matrix (format-3 store)", pairs),
+    )
+    (results_dir / "access_paths.json").write_text(
+        json.dumps(
+            {
+                "bench": "access_paths",
+                "p50_us": {k: round(v, 1) for k, v in p50.items()},
+                "dense_hits": dense_hits,
+                "queries": n_queries,
+                "bit_identical": identical,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    assert identical, "access paths disagreed on point lookups"
+    assert dense_hits > 0, "no query resolved via the dense path"
+    # the indexed lanes must beat the full scan outright
+    assert p50["index"] < p50["scan"]

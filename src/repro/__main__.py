@@ -86,6 +86,15 @@ def cmd_build(args: argparse.Namespace) -> int:
             mode="degrade" if args.degrade else "restart",
             min_ranks=args.min_ranks,
         )
+    reorder = None
+    if args.reorder:
+        from repro.storage.reorder import reorder_relation
+
+        data, reorder = reorder_relation(data, cards)
+        print(
+            "reordered attribute values by sampled frequency "
+            f"({data.width} dims; inverse recorded in the manifest)"
+        )
     machine = MachineSpec(
         p=args.p,
         backend=args.backend,
@@ -119,8 +128,15 @@ def cmd_build(args: argparse.Namespace) -> int:
             f"p={metrics.final_width} of {args.p}"
         )
     if args.out:
-        CubeStore.save(cube, args.out)
-        print(f"stored at {args.out}")
+        fmt = 3 if args.hybrid else 2
+        CubeStore.save(
+            cube,
+            args.out,
+            format=fmt,
+            reorder=reorder,
+            density_threshold=args.density_threshold,
+        )
+        print(f"stored at {args.out} (format {fmt})")
     if metrics.audit is not None:
         if metrics.audit["ok"]:
             print(f"audit: OK ({len(metrics.audit['checks'])} checks)")
@@ -336,6 +352,19 @@ def main(argv: list[str] | None = None) -> int:
     p_build.add_argument("--audit", action="store_true",
                          help="run the post-build integrity audit; a "
                               "failed audit exits non-zero")
+    p_build.add_argument("--reorder", action="store_true",
+                         help="reorder attribute values by sampled "
+                              "frequency before the build (queries still "
+                              "speak original values via the manifest's "
+                              "recorded inverse permutations)")
+    p_build.add_argument("--hybrid", action="store_true",
+                         help="store as format 3: per-block dense/sparse "
+                              "hybrid views (combine with --reorder for "
+                              "maximum dense coverage)")
+    p_build.add_argument("--density-threshold", type=float, default=None,
+                         help="block occupancy above which a block is "
+                              "stored dense (default: the calibrated "
+                              "byte-cost break-even, 0.5078125)")
     p_build.set_defaults(fn=cmd_build)
 
     p_info = sub.add_parser("info", help="describe a stored cube")

@@ -20,7 +20,6 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.core.lattice import Lattice
 from repro.core.views import View, all_views, canonical_view
 from repro.storage.table import Relation
 
@@ -31,13 +30,24 @@ MAX_TOTAL_CELLS = 50_000_000
 
 
 class MolapCube:
-    """A fully materialised dense-array data cube."""
+    """A fully materialised dense-array data cube.
+
+    ``counts`` (parallel occupancy-count arrays, when supplied by the
+    builder) let :meth:`view_relation` distinguish an *absent* cell
+    from an occupied cell whose measures sum to exactly 0.0 — a dense
+    value array alone cannot.  Without counts the historical
+    ``nonzero(values)`` behaviour applies.
+    """
 
     def __init__(
-        self, arrays: dict[View, np.ndarray], cardinalities: tuple[int, ...]
+        self,
+        arrays: dict[View, np.ndarray],
+        cardinalities: tuple[int, ...],
+        counts: dict[View, np.ndarray] | None = None,
     ):
         self.arrays = arrays
         self.cardinalities = cardinalities
+        self.counts = counts or {}
 
     @property
     def views(self) -> list[View]:
@@ -56,11 +66,14 @@ class MolapCube:
         """Densify-to-ROLAP: rows for occupied cells only (for checks)."""
         view = canonical_view(view)
         arr = self.arrays[view]
+        cnt = self.counts.get(view)
         if arr.ndim == 0:
+            if cnt is not None and int(cnt) == 0:
+                return Relation.empty(0)
             return Relation(
                 np.empty((1, 0), dtype=np.int64), np.array([float(arr)])
             )
-        occupied = np.nonzero(arr)
+        occupied = np.nonzero(cnt if cnt is not None else arr)
         dims = np.column_stack(occupied).astype(np.int64)
         return Relation(dims, arr[occupied])
 
@@ -88,13 +101,20 @@ def build_molap_cube(
         )
 
     arrays: dict[View, np.ndarray] = {}
+    counts: dict[View, np.ndarray] = {}
     top = tuple(range(d))
+    cells = tuple(relation.dims[:, i] for i in range(d))
     base = np.zeros(tuple(cards), dtype=np.float64)
-    np.add.at(base, tuple(relation.dims[:, i] for i in range(d)), relation.measure)
+    np.add.at(base, cells, relation.measure)
+    # Occupancy counts roll up in lockstep with the values: a cell is
+    # occupied iff at least one input row landed in it, however its
+    # measures sum.
+    base_counts = np.zeros(tuple(cards), dtype=np.int64)
+    np.add.at(base_counts, cells, 1)
     if top in views:
         arrays[top] = base
+        counts[top] = base_counts
 
-    lattice = Lattice(d, views=list(views) + [top])
     for view in views:
         if view == top:
             continue
@@ -107,13 +127,20 @@ def build_molap_cube(
             key=lambda u: int(np.prod([cards[i] for i in u])) if u else 1,
         )
         source = arrays.get(parent, base)
+        source_counts = counts.get(parent, base_counts)
         axes = tuple(
             pos for pos, dim in enumerate(parent) if dim not in view
         )
-        arrays[view] = source.sum(axis=axes) if axes else source.copy()
+        if axes:
+            arrays[view] = source.sum(axis=axes)
+            counts[view] = source_counts.sum(axis=axes)
+        else:
+            arrays[view] = source.copy()
+            counts[view] = source_counts.copy()
     if top in views and top not in arrays:
         arrays[top] = base
-    return MolapCube(arrays, cards)
+        counts[top] = base_counts
+    return MolapCube(arrays, cards, counts)
 
 
 def space_comparison(

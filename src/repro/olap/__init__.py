@@ -15,7 +15,8 @@ surface:
   into one ``searchsorted`` key range (no decode, no argsort).
 * :mod:`repro.olap.store` — persist a built cube to disk and reopen it;
   format 2 lays each view out as memory-mapped sorted columns the index
-  path serves from.
+  path serves from, format 3 adds per-block dense/sparse hybrid storage
+  (:mod:`repro.olap.hybrid`) with recorded attribute-value reorders.
 * :mod:`repro.olap.cache` — byte-budgeted, admission-controlled result
   caching in front of an engine.
 * :mod:`repro.olap.service` — a supervised pool of store-backed worker
@@ -32,8 +33,15 @@ surface:
 
 from repro.olap.advisor import AdvisorResult, select_views
 from repro.olap.cache import CachedQueryEngine, ResultCache
+from repro.olap.hybrid import HybridView
 from repro.olap.index import AccessPlan, FenceIndex, SortedView
-from repro.olap.query import Query, QueryEngine, QueryPlan, QueryPlanner
+from repro.olap.query import (
+    Query,
+    QueryEngine,
+    QueryPlan,
+    QueryPlanner,
+    ReorderedQueryEngine,
+)
 from repro.olap.service import QueryService
 from repro.olap.store import CubeStore, OpenCube
 from repro.olap.supervise import (
@@ -49,6 +57,7 @@ __all__ = [
     "CachedQueryEngine",
     "CubeStore",
     "FenceIndex",
+    "HybridView",
     "OpenCube",
     "PoisonQuery",
     "Query",
@@ -57,6 +66,7 @@ __all__ = [
     "QueryPlanner",
     "QueryService",
     "QueryTimeout",
+    "ReorderedQueryEngine",
     "ResultCache",
     "ServiceOverloaded",
     "ServicePolicy",

@@ -39,6 +39,7 @@ from repro.core.cube import CubeResult
 from repro.core.viewdata import codec_for_order
 from repro.core.views import View, canonical_view, view_name
 from repro.mpi.engine import run_spmd
+from repro.olap.hybrid import HybridView
 from repro.olap.index import (
     AccessPlan,
     SortedView,
@@ -47,11 +48,18 @@ from repro.olap.index import (
     key_bounds,
 )
 from repro.storage.codec import KeyCodec
+from repro.storage.reorder import ValueReorder
 from repro.storage.scan import aggregate_sorted_keys
 from repro.storage.sortkernels import is_sorted_int64
 from repro.storage.table import Relation
 
-__all__ = ["Query", "QueryEngine", "QueryPlan", "QueryPlanner"]
+__all__ = [
+    "Query",
+    "QueryEngine",
+    "QueryPlan",
+    "QueryPlanner",
+    "ReorderedQueryEngine",
+]
 
 
 _HAVING_OPS = {
@@ -161,7 +169,9 @@ class QueryPlan:
     query: Query
     view: View
     scan_rows: int
-    #: ``"index"`` | ``"index+sort"`` | ``"scan"`` (see module docs).
+    #: ``"index"`` | ``"index+sort"`` | ``"scan"``, or — against a
+    #: format-3 store when the whole key range lies in dense blocks —
+    #: ``"dense"`` (index semantics, direct offset arithmetic).
     access_path: str = "scan"
     #: The view's sort order, when one is known to the planner.
     order: tuple[int, ...] | None = None
@@ -381,6 +391,24 @@ class QueryEngine:
                 access_path="scan",
                 order=plan.order,
             )
+        elif plan.access_path != "scan" and plan.access is not None:
+            # Against a hybrid view, report the dense path when the
+            # whole key range resolves by block-offset arithmetic.
+            sv = self._sorted_view(plan.view)
+            if isinstance(sv, HybridView):
+                lo_key, hi_key = key_bounds(
+                    sv.order, self.cube.cardinalities,
+                    plan.access, query.filters,
+                )
+                if sv.range_kind(lo_key, hi_key) == "dense":
+                    plan = QueryPlan(
+                        query=plan.query,
+                        view=plan.view,
+                        scan_rows=plan.scan_rows,
+                        access_path="dense",
+                        order=plan.order,
+                        access=plan.access,
+                    )
         return plan
 
     # -- gathered execution ------------------------------------------------
@@ -480,4 +508,145 @@ class QueryEngine:
         return (
             Relation(codec.unpack(keys), measure),
             result.simulated_seconds,
+        )
+
+
+class ReorderedQueryEngine:
+    """Answer queries in *original* attribute values against a cube
+    built under a :class:`~repro.storage.reorder.ValueReorder`.
+
+    The store holds reordered codes; callers keep speaking the labels
+    the raw data used.  Per query the wrapper:
+
+    1. maps each filter's value range through the permutation — a point
+       stays a point and a full range stays full, so those pass through
+       as (contiguous) inner filters; a partial range whose image is
+       non-contiguous becomes its covering range plus a membership
+       post-filter, and the filtered dimension joins the inner group-by
+       so the membership test can run on the (small) aggregated groups
+       instead of per row;
+    2. runs the translated query on the wrapped engine unchanged —
+       index, dense, and scan paths all apply;
+    3. drops groups failing a membership post-filter, maps group codes
+       back through the inverse permutations, re-aggregates onto the
+       requested group-by (a no-op when no auxiliary dims were added),
+       applies HAVING, and returns rows sorted by the canonical
+       original-value packed keys.
+
+    Every step after the inner answer is a deterministic function of
+    that answer, so two stores of the same reordered cube (e.g. format
+    2 and format 3) return bit-identical results through this wrapper,
+    and HAVING only ever sees completely combined groups.
+    """
+
+    def __init__(self, inner: QueryEngine, reorder: ValueReorder):
+        if reorder.width != len(inner.cube.cardinalities):
+            raise ValueError(
+                f"reorder covers {reorder.width} dims but the cube has "
+                f"{len(inner.cube.cardinalities)}"
+            )
+        self.inner = inner
+        self.reorder = reorder
+        self.cube = inner.cube
+
+    @property
+    def planner(self) -> QueryPlanner:
+        return self.inner.planner
+
+    # -- translation -------------------------------------------------------
+
+    def _translate(
+        self, query: Query
+    ) -> tuple[Query | None, tuple[tuple[int, np.ndarray], ...]]:
+        """The inner (reordered-space) query plus membership
+        post-filters; inner query ``None`` when a filter range clamps
+        to nothing (the answer is empty)."""
+        cards = self.cube.cardinalities
+        inner_filters: dict[int, tuple[int, int]] = {}
+        post: list[tuple[int, np.ndarray]] = []
+        for dim, (lo, hi) in query.filters.items():
+            mapped = self.reorder.map_range(dim, lo, hi)
+            if mapped.size == 0:
+                return None, ()
+            mlo, mhi = int(mapped[0]), int(mapped[-1])
+            inner_filters[dim] = (mlo, mhi)
+            if mhi - mlo + 1 != mapped.size:
+                keep = np.zeros(int(cards[dim]), dtype=bool)
+                keep[mapped] = True
+                post.append((int(dim), keep))
+        aux = tuple(
+            dim for dim, _ in post if dim not in query.group_by
+        )
+        inner_group = canonical_view(tuple(query.group_by) + aux)
+        return (
+            Query(group_by=inner_group, filters=inner_filters),
+            tuple(post),
+        )
+
+    def _finish(
+        self,
+        query: Query,
+        inner_group: View,
+        post: tuple[tuple[int, np.ndarray], ...],
+        rel: Relation,
+    ) -> Relation:
+        cards = self.cube.cardinalities
+        dims, measure = rel.dims, rel.measure
+        if post:
+            col_of = {dim: pos for pos, dim in enumerate(inner_group)}
+            mask = np.ones(dims.shape[0], dtype=bool)
+            for dim, keep in post:
+                mask &= keep[dims[:, col_of[dim]]]
+            dims, measure = dims[mask], measure[mask]
+        cols = [inner_group.index(dim) for dim in query.group_by]
+        orig = self.reorder.invert_dims(
+            dims[:, cols], dims_of=query.group_by
+        )
+        codec = KeyCodec([cards[dim] for dim in query.group_by])
+        keys = (
+            codec.pack(orig)
+            if query.group_by
+            else np.zeros(orig.shape[0], dtype=np.int64)
+        )
+        order = np.argsort(keys, kind="stable")
+        out_keys, out_measure = aggregate_sorted_keys(
+            keys[order], measure[order], self.cube.agg
+        )
+        out_keys, out_measure = _apply_having(
+            out_keys, out_measure, query.having
+        )
+        return Relation(codec.unpack(out_keys), out_measure)
+
+    def _empty(self, query: Query) -> Relation:
+        return Relation(
+            np.empty((0, len(query.group_by)), dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+
+    # -- QueryEngine API ---------------------------------------------------
+
+    def explain(self, query: Query) -> QueryPlan:
+        """The inner plan of the translated query."""
+        inner_query, _ = self._translate(query)
+        return self.inner.explain(
+            inner_query if inner_query is not None else query
+        )
+
+    def answer(self, query: Query) -> Relation:
+        inner_query, post = self._translate(query)
+        if inner_query is None:
+            return self._empty(query)
+        rel = self.inner.answer(inner_query)
+        return self._finish(query, inner_query.group_by, post, rel)
+
+    def answer_parallel(
+        self, query: Query, spec: MachineSpec | None = None
+    ) -> tuple[Relation, float]:
+        inner_query, post = self._translate(query)
+        if inner_query is None:
+            return self._empty(query), 0.0
+        rel, seconds = self.inner.answer_parallel(inner_query, spec)
+        return (
+            self._finish(query, inner_query.group_by, post, rel),
+            seconds,
         )

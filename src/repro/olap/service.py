@@ -68,7 +68,7 @@ from repro.mpi.errors import CorruptPayload, RankDead, classify_failure
 from repro.mpi.faults import ServeFaultPlan
 from repro.mpi.shm import SegmentArena, _attach, decode, encode, sweep_orphans
 from repro.olap.cache import ResultCache, result_nbytes
-from repro.olap.query import Query, QueryEngine
+from repro.olap.query import Query
 from repro.olap.supervise import (
     PoisonQuery,
     QueryTimeout,
@@ -170,11 +170,10 @@ def _worker_main(
     from repro.olap.store import CubeStore
 
     handle = CubeStore.open(store_path)
-    engine = QueryEngine(
-        handle.cube,
-        sorted_views=handle.sorted_views,
-        index=index,
-    )
+    # Through the handle so a recorded attribute-value reorder wraps
+    # the engine transparently (workers keep mmap-only access either
+    # way — dense chunks and sparse columns alike open read-only).
+    engine = handle.query_engine(index=index)
     arena = SegmentArena(pooled=True)
     faults = (
         serve_faults.schedule(worker_id, generation)

@@ -29,6 +29,25 @@ a query needs.  A view that violates the sorted-concatenation invariant
 (none of the shipped builders produce one, but the format stays honest)
 falls back to per-rank ``ranked`` storage inside the same format-2
 manifest and serves through the scan path.
+
+**Format 3** (hybrid) keeps format 2's manifest schema and global sort
+invariant but stores each eligible view as dense blocks + a sparse
+residue (:mod:`repro.storage.dense`)::
+
+    <path>/views/v_<name>.sparse.keys.npy     sorted sparse residue
+    <path>/views/v_<name>.sparse.measure.npy
+    <path>/views/v_<name>.dense.values.npy    concatenated dense cells
+    <path>/views/v_<name>.dense.mask.npy      packed occupancy bits
+
+The manifest lists only the dense blocks (id, rows, full-flag, sparse
+rows before the block), so logical-row arithmetic is O(1) per block and
+the fence index covers just the sparse residue.  Readers get
+:class:`~repro.olap.hybrid.HybridView` handles with the same API as
+:class:`SortedView`; ``CubeStore.load`` re-expands the blocks into the
+exact distributed cube.  A store saved with an attribute-value reorder
+(:mod:`repro.storage.reorder`) records the permutations under the
+manifest's ``reorder`` key — any format — and ``query_engine()``
+transparently translates queries back to original attribute values.
 """
 
 from __future__ import annotations
@@ -41,10 +60,13 @@ import numpy as np
 
 from repro.config import RunResult
 from repro.core.cube import CubeResult
-from repro.core.viewdata import ViewData
+from repro.core.viewdata import ViewData, codec_for_order
 from repro.core.views import View, canonical_view, view_name
+from repro.olap.hybrid import HybridView
 from repro.olap.index import DEFAULT_STRIDE, FenceIndex, SortedView
+from repro.storage.dense import DEFAULT_BLOCK_CELLS, build_hybrid
 from repro.storage.mmapio import MappedColumn, MmapMeter, write_npy
+from repro.storage.reorder import ValueReorder
 from repro.storage.sortkernels import is_sorted_int64
 
 __all__ = ["CubeStore", "OpenCube"]
@@ -73,7 +95,7 @@ def _zero_metrics(total_rows: int, view_count: int) -> RunResult:
 
 
 class CubeStore:
-    """Directory-backed cube persistence (formats 1 and 2)."""
+    """Directory-backed cube persistence (formats 1, 2 and 3)."""
 
     @staticmethod
     def save(
@@ -81,16 +103,40 @@ class CubeStore:
         path: str,
         format: int = 2,
         fence_stride: int | None = None,
+        reorder: ValueReorder | None = None,
+        block_cells: int | None = None,
+        density_threshold: float | None = None,
     ) -> str:
-        """Write ``cube`` under ``path`` (created if needed)."""
+        """Write ``cube`` under ``path`` (created if needed).
+
+        ``reorder`` records the attribute-value permutations the cube
+        was built under (any format); ``block_cells`` and
+        ``density_threshold`` tune the format-3 hybrid layout.
+        """
         if format == 1:
-            return CubeStore._save_v1(cube, path)
-        if format != 2:
-            raise ValueError(f"unknown cube store format: {format!r}")
-        return CubeStore._save_v2(cube, path, fence_stride)
+            return CubeStore._save_v1(cube, path, reorder)
+        if format == 2:
+            return CubeStore._save_v2(cube, path, fence_stride, reorder)
+        if format == 3:
+            return CubeStore._save_v3(
+                cube, path, fence_stride, reorder,
+                block_cells, density_threshold,
+            )
+        raise ValueError(f"unknown cube store format: {format!r}")
 
     @staticmethod
-    def _save_v1(cube: CubeResult, path: str) -> str:
+    def _write_manifest(
+        path: str, manifest: dict, reorder: ValueReorder | None
+    ) -> None:
+        if reorder is not None and not reorder.is_identity:
+            manifest["reorder"] = reorder.to_manifest()
+        with open(os.path.join(path, _MANIFEST), "w") as fh:
+            json.dump(manifest, fh, indent=1)
+
+    @staticmethod
+    def _save_v1(
+        cube: CubeResult, path: str, reorder: ValueReorder | None = None
+    ) -> str:
         os.makedirs(path, exist_ok=True)
         views = cube.views
         manifest = {
@@ -111,8 +157,7 @@ class CubeStore:
                 for view in views
             ],
         }
-        with open(os.path.join(path, _MANIFEST), "w") as fh:
-            json.dump(manifest, fh, indent=1)
+        CubeStore._write_manifest(path, manifest, reorder)
         for rank, rank_views in enumerate(cube.rank_views):
             rank_dir = os.path.join(path, f"rank{rank:02d}")
             os.makedirs(rank_dir, exist_ok=True)
@@ -127,7 +172,10 @@ class CubeStore:
 
     @staticmethod
     def _save_v2(
-        cube: CubeResult, path: str, fence_stride: int | None
+        cube: CubeResult,
+        path: str,
+        fence_stride: int | None,
+        reorder: ValueReorder | None = None,
     ) -> str:
         os.makedirs(path, exist_ok=True)
         stride = int(fence_stride or DEFAULT_STRIDE)
@@ -187,8 +235,102 @@ class CubeStore:
             "fence_stride": stride,
             "views": entries,
         }
-        with open(os.path.join(path, _MANIFEST), "w") as fh:
-            json.dump(manifest, fh, indent=1)
+        CubeStore._write_manifest(path, manifest, reorder)
+        return path
+
+    @staticmethod
+    def _save_v3(
+        cube: CubeResult,
+        path: str,
+        fence_stride: int | None,
+        reorder: ValueReorder | None,
+        block_cells: int | None,
+        density_threshold: float | None,
+    ) -> str:
+        os.makedirs(path, exist_ok=True)
+        stride = int(fence_stride or DEFAULT_STRIDE)
+        bc = int(block_cells or DEFAULT_BLOCK_CELLS)
+        views_dir = os.path.join(path, "views")
+        cards = cube.cardinalities
+        entries = []
+        for view in cube.views:
+            pieces = [rv[view] for rv in cube.rank_views]
+            orders = {piece.order for piece in pieces}
+            keys = np.concatenate([piece.keys for piece in pieces])
+            entry = {
+                "dims": list(view),
+                "name": view_name(view),
+                "rows": int(keys.shape[0]),
+            }
+            if len(orders) == 1 and is_sorted_int64(keys):
+                order = pieces[0].order
+                measure = np.concatenate(
+                    [piece.measure for piece in pieces]
+                )
+                offsets = np.zeros(len(pieces) + 1, dtype=np.int64)
+                np.cumsum(
+                    [piece.nrows for piece in pieces], out=offsets[1:]
+                )
+                capacity = int(codec_for_order(order, cards).capacity)
+                layout = build_hybrid(
+                    keys, measure, capacity,
+                    block_cells=bc, threshold=density_threshold,
+                )
+                stem = os.path.join(views_dir, _view_stem(view))
+                write_npy(stem + ".sparse.keys.npy", layout.sparse_keys)
+                write_npy(
+                    stem + ".sparse.measure.npy", layout.sparse_measure
+                )
+                if layout.dense_values.size:
+                    write_npy(
+                        stem + ".dense.values.npy", layout.dense_values
+                    )
+                if layout.dense_mask.size:
+                    write_npy(stem + ".dense.mask.npy", layout.dense_mask)
+                entry.update(
+                    layout="hybrid",
+                    order=list(order),
+                    rank_offsets=[int(o) for o in offsets],
+                    capacity=capacity,
+                    sparse_rows=layout.n_sparse_rows,
+                    dense=[
+                        [
+                            int(layout.dense_blocks[i]),
+                            int(layout.dense_rows[i]),
+                            int(layout.dense_full[i]),
+                            int(layout.sparse_before[i]),
+                        ]
+                        for i in range(layout.dense_blocks.shape[0])
+                    ],
+                    fence=FenceIndex.build(
+                        layout.sparse_keys, stride
+                    ).to_manifest(),
+                )
+            else:
+                entry.update(
+                    layout="ranked",
+                    orders=[list(piece.order) for piece in pieces],
+                )
+                for rank, piece in enumerate(pieces):
+                    rank_dir = os.path.join(path, f"rank{rank:02d}")
+                    os.makedirs(rank_dir, exist_ok=True)
+                    np.savez(
+                        os.path.join(rank_dir, _view_file(view)),
+                        keys=piece.keys,
+                        measure=piece.measure,
+                    )
+            entries.append(entry)
+        manifest = {
+            "format": 3,
+            "cardinalities": list(cards),
+            "agg": cube.agg,
+            "p": len(cube.rank_views),
+            "fence_stride": stride,
+            "block_cells": bc,
+            "density_threshold": density_threshold,
+            "views": entries,
+        }
+        CubeStore._write_manifest(path, manifest, reorder)
         return path
 
     # -- reading -----------------------------------------------------------
@@ -200,7 +342,7 @@ class CubeStore:
             raise FileNotFoundError(f"no cube manifest at {manifest_path}")
         with open(manifest_path) as fh:
             manifest = json.load(fh)
-        if manifest.get("format") not in (1, 2):
+        if manifest.get("format") not in (1, 2, 3):
             raise ValueError(
                 f"unsupported cube store format: {manifest.get('format')!r}"
             )
@@ -231,9 +373,13 @@ class OpenCube:
     """A read-only handle on one stored cube.
 
     * :attr:`cube` — the faithful distributed :class:`CubeResult`
-      (format 2: zero-copy mmap slices; format 1: eager ``.npz`` loads).
-    * :attr:`sorted_views` — per-view :class:`SortedView` serving
-      handles (format-2 ``sorted`` layouts only; empty for format 1).
+      (formats 2/3: mmap-backed; format 1: eager ``.npz`` loads).
+    * :attr:`sorted_views` — per-view serving handles
+      (:class:`SortedView` for format-2 ``sorted`` layouts,
+      :class:`~repro.olap.hybrid.HybridView` for format-3 ``hybrid``
+      layouts; empty for format 1).
+    * :attr:`reorder` — the attribute-value permutations the cube was
+      built under, or ``None`` (original labels).
     * :attr:`meter` — mmap read accounting shared by every column.
 
     Handles are safe to open in many processes at once: each worker of
@@ -250,30 +396,75 @@ class OpenCube:
         )
         self.agg = manifest.get("agg", "sum")
         self.p = int(manifest["p"])
+        self.block_cells = int(
+            manifest.get("block_cells") or DEFAULT_BLOCK_CELLS
+        )
+        self.reorder = (
+            ValueReorder.from_manifest(manifest["reorder"])
+            if "reorder" in manifest
+            else None
+        )
         self.meter = MmapMeter()
         self._cube: CubeResult | None = None
-        self._sorted: dict[View, SortedView] | None = None
+        self._sorted: dict[View, SortedView | HybridView] | None = None
 
     # -- sorted serving views ---------------------------------------------
 
+    def _hybrid_view(self, entry: dict, view: View) -> HybridView:
+        stem = os.path.join(self.path, "views", _view_stem(view))
+        dense = entry.get("dense") or []
+        cols = np.asarray(dense, dtype=np.int64).reshape(len(dense), 4)
+        # Mask/values files are omitted when no block needs them.
+        values = (
+            MappedColumn(stem + ".dense.values.npy", self.meter)
+            if os.path.exists(stem + ".dense.values.npy")
+            else np.empty(0, dtype=np.float64)
+        )
+        mask = (
+            MappedColumn(stem + ".dense.mask.npy", self.meter)
+            if os.path.exists(stem + ".dense.mask.npy")
+            else np.empty(0, dtype=np.uint8)
+        )
+        return HybridView(
+            tuple(entry["order"]),
+            block_cells=self.block_cells,
+            capacity=int(entry["capacity"]),
+            nrows=int(entry["rows"]),
+            blocks=cols[:, 0],
+            rows=cols[:, 1],
+            full=cols[:, 2].astype(bool),
+            sparse_before=cols[:, 3],
+            values=values,
+            mask=mask,
+            sparse_keys=MappedColumn(stem + ".sparse.keys.npy", self.meter),
+            sparse_measure=MappedColumn(
+                stem + ".sparse.measure.npy", self.meter
+            ),
+            fence=FenceIndex.from_manifest(entry["fence"]),
+        )
+
     @property
-    def sorted_views(self) -> dict[View, SortedView]:
+    def sorted_views(self) -> dict[View, SortedView | HybridView]:
         if self._sorted is None:
             self._sorted = {}
-            if self.format == 2:
+            if self.format in (2, 3):
                 for entry in self.manifest["views"]:
-                    if entry.get("layout") != "sorted":
-                        continue
+                    layout = entry.get("layout")
                     view = canonical_view(entry["dims"])
-                    stem = os.path.join(
-                        self.path, "views", _view_stem(view)
-                    )
-                    self._sorted[view] = SortedView(
-                        tuple(entry["order"]),
-                        MappedColumn(stem + ".keys.npy", self.meter),
-                        MappedColumn(stem + ".measure.npy", self.meter),
-                        FenceIndex.from_manifest(entry["fence"]),
-                    )
+                    if layout == "sorted":
+                        stem = os.path.join(
+                            self.path, "views", _view_stem(view)
+                        )
+                        self._sorted[view] = SortedView(
+                            tuple(entry["order"]),
+                            MappedColumn(stem + ".keys.npy", self.meter),
+                            MappedColumn(
+                                stem + ".measure.npy", self.meter
+                            ),
+                            FenceIndex.from_manifest(entry["fence"]),
+                        )
+                    elif layout == "hybrid":
+                        self._sorted[view] = self._hybrid_view(entry, view)
         return self._sorted
 
     def view_index(self, view: View) -> FenceIndex | None:
@@ -288,7 +479,7 @@ class OpenCube:
     def cube(self) -> CubeResult:
         if self._cube is None:
             self._cube = (
-                self._load_v1() if self.format == 1 else self._load_v2()
+                self._load_v1() if self.format == 1 else self._load_v23()
             )
         return self._cube
 
@@ -318,7 +509,7 @@ class OpenCube:
             agg=self.agg,
         )
 
-    def _load_v2(self) -> CubeResult:
+    def _load_v23(self) -> CubeResult:
         manifest = self.manifest
         p = self.p
         rank_views: list[dict[View, ViewData]] = [dict() for _ in range(p)]
@@ -326,10 +517,23 @@ class OpenCube:
         for entry in manifest["views"]:
             view = canonical_view(entry["dims"])
             total_rows += int(entry["rows"])
-            if entry.get("layout") == "sorted":
+            layout = entry.get("layout")
+            if layout == "sorted":
                 sv = self.sorted_views[view]
                 keys = sv._keys.array  # the shared mapping
                 measure = sv._measure.array
+                offsets = entry["rank_offsets"]
+                order = tuple(entry["order"])
+                for rank in range(p):
+                    lo, hi = int(offsets[rank]), int(offsets[rank + 1])
+                    rank_views[rank][view] = ViewData(
+                        order, keys[lo:hi], measure[lo:hi]
+                    )
+            elif layout == "hybrid":
+                # Re-expand the blocks into the full sorted columns;
+                # rank pieces are offset slices exactly as for format 2.
+                hv = self.sorted_views[view]
+                keys, measure = hv.read(0, hv.nrows)
                 offsets = entry["rank_offsets"]
                 order = tuple(entry["order"])
                 for rank in range(p):
@@ -357,9 +561,20 @@ class OpenCube:
 
     # -- convenience -------------------------------------------------------
 
-    def query_engine(self):
-        """A :class:`~repro.olap.query.QueryEngine` over this store
-        (index-accelerated where sorted views exist)."""
-        from repro.olap.query import QueryEngine
+    def query_engine(self, index: bool = True):
+        """A query engine over this store (index-accelerated where
+        sorted/hybrid views exist).
 
-        return QueryEngine(self.cube, sorted_views=self.sorted_views)
+        When the manifest records an attribute-value reorder the engine
+        is wrapped in a :class:`~repro.olap.query.ReorderedQueryEngine`,
+        so callers always query in original attribute values no matter
+        how the store is labelled.
+        """
+        from repro.olap.query import QueryEngine, ReorderedQueryEngine
+
+        engine = QueryEngine(
+            self.cube, sorted_views=self.sorted_views, index=index
+        )
+        if self.reorder is not None and not self.reorder.is_identity:
+            return ReorderedQueryEngine(engine, self.reorder)
+        return engine

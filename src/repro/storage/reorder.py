@@ -1,0 +1,230 @@
+"""Attribute-value reordering for hybrid dense/sparse cube storage.
+
+Kaser-Lemire ("Attribute Value Reordering For Efficient Hybrid OLAP",
+see PAPERS.md) observe that the *labels* of attribute values are
+arbitrary — real dimensions arrive alphabetically, by surrogate-key
+insertion order, or however the ETL happened to number them — while the
+storage cost of a hybrid dense/sparse layout depends entirely on how
+the occupied cells *cluster*.  Renaming each dimension's values so that
+frequent values get small codes concentrates the row mass of every view
+near the low end of its packed key space, which turns low key blocks
+into dense (MOLAP-style) array chunks and leaves the long tail sparse
+(:mod:`repro.storage.dense`).
+
+:class:`ValueReorder` is that renaming: one permutation per dimension,
+``perm[original_code] = reordered_code``, ranked by descending value
+frequency (ties broken by ascending original code, so the permutation
+is deterministic).  Frequencies come from an equally spaced row sample
+— the same decimation discipline the merge phase's size estimator uses
+(:mod:`repro.core.sampling`) — so computing a reorder costs one pass
+over the *sample*, never an extra scan of the data.
+
+The reorder is applied to the raw relation **before** the build; the
+whole pipeline (packing, sorting, merging, storing) then operates in
+reordered code space unchanged.  The permutations travel in the store
+manifest, and :class:`repro.olap.query.ReorderedQueryEngine` translates
+query filters from original values into reordered space and decodes
+results back, so callers never see reordered codes.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.storage.table import Relation
+
+__all__ = ["ValueReorder", "reorder_relation"]
+
+#: Default equally-spaced sample rows used by :meth:`ValueReorder.
+#: from_relation` (matches the ~100·p scale of the merge estimator's
+#: decimation sample at serving-size p).
+DEFAULT_SAMPLE_ROWS = 8192
+
+
+class ValueReorder:
+    """Per-dimension attribute-value permutations (and their inverses).
+
+    Parameters
+    ----------
+    perms:
+        One ``int64`` array per dimension; ``perms[d][orig] = new``.
+        Each must be a permutation of ``0..card-1``.
+    """
+
+    def __init__(self, perms: Sequence[np.ndarray]):
+        self.perms = tuple(
+            np.asarray(p, dtype=np.int64) for p in perms
+        )
+        self.inverse = []
+        for d, perm in enumerate(self.perms):
+            card = perm.shape[0]
+            if card < 1 or not np.array_equal(
+                np.sort(perm), np.arange(card, dtype=np.int64)
+            ):
+                raise ValueError(
+                    f"dimension {d}: not a permutation of 0..{card - 1}"
+                )
+            inv = np.empty(card, dtype=np.int64)
+            inv[perm] = np.arange(card, dtype=np.int64)
+            self.inverse.append(inv)
+        self.inverse = tuple(self.inverse)
+
+    # -- construction ------------------------------------------------------
+
+    @staticmethod
+    def identity(cardinalities: Sequence[int]) -> "ValueReorder":
+        return ValueReorder(
+            [np.arange(int(c), dtype=np.int64) for c in cardinalities]
+        )
+
+    @staticmethod
+    def from_sample(
+        dims: np.ndarray, cardinalities: Sequence[int]
+    ) -> "ValueReorder":
+        """Frequency-ranked permutations from a row sample.
+
+        ``dims`` is an ``(m, d)`` code array (any subset of the rows).
+        Values are ranked by descending sample frequency; values the
+        sample never saw keep their relative order after all seen ones,
+        so every code in ``0..card-1`` stays addressable.
+        """
+        cards = [int(c) for c in cardinalities]
+        dims = np.asarray(dims, dtype=np.int64)
+        if dims.ndim != 2 or dims.shape[1] != len(cards):
+            raise ValueError(
+                f"expected (m, {len(cards)}) sample, got {dims.shape}"
+            )
+        perms = []
+        for col, card in enumerate(cards):
+            counts = np.bincount(
+                dims[:, col], minlength=card
+            ) if dims.shape[0] else np.zeros(card, dtype=np.int64)
+            # Stable argsort on -counts: frequent first, ties by
+            # ascending original code — deterministic.
+            ranked = np.argsort(-counts, kind="stable")
+            perm = np.empty(card, dtype=np.int64)
+            perm[ranked] = np.arange(card, dtype=np.int64)
+            perms.append(perm)
+        return ValueReorder(perms)
+
+    @staticmethod
+    def from_relation(
+        relation: Relation,
+        cardinalities: Sequence[int],
+        sample_rows: int = DEFAULT_SAMPLE_ROWS,
+    ) -> "ValueReorder":
+        """Frequency permutations from an equally spaced row sample.
+
+        The stride sample mirrors the decimation sampler's discipline:
+        at most ``sample_rows`` rows are touched regardless of ``n``.
+        """
+        n = relation.nrows
+        stride = max(-(-n // max(int(sample_rows), 1)), 1)
+        return ValueReorder.from_sample(
+            relation.dims[::stride], cardinalities
+        )
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        return len(self.perms)
+
+    @property
+    def cardinalities(self) -> tuple[int, ...]:
+        return tuple(int(p.shape[0]) for p in self.perms)
+
+    @property
+    def is_identity(self) -> bool:
+        return all(
+            np.array_equal(p, np.arange(p.shape[0])) for p in self.perms
+        )
+
+    # -- application -------------------------------------------------------
+
+    def apply_dims(self, dims: np.ndarray) -> np.ndarray:
+        """Original codes -> reordered codes, column by column."""
+        dims = np.asarray(dims, dtype=np.int64)
+        if dims.ndim != 2 or dims.shape[1] != self.width:
+            raise ValueError(
+                f"expected (n, {self.width}) codes, got {dims.shape}"
+            )
+        out = np.empty_like(dims)
+        for col, perm in enumerate(self.perms):
+            out[:, col] = perm[dims[:, col]]
+        return out
+
+    def invert_dims(
+        self, dims: np.ndarray, dims_of: Sequence[int] | None = None
+    ) -> np.ndarray:
+        """Reordered codes -> original codes.
+
+        ``dims_of`` names the global dimension index of each column
+        (for view projections); ``None`` means all columns in order.
+        """
+        dims = np.asarray(dims, dtype=np.int64)
+        cols = (
+            range(self.width) if dims_of is None
+            else [int(d) for d in dims_of]
+        )
+        cols = list(cols)
+        if dims.ndim != 2 or dims.shape[1] != len(cols):
+            raise ValueError(
+                f"expected (n, {len(cols)}) codes, got {dims.shape}"
+            )
+        out = np.empty_like(dims)
+        for pos, dim in enumerate(cols):
+            out[:, pos] = self.inverse[dim][dims[:, pos]]
+        return out
+
+    def apply(self, relation: Relation) -> Relation:
+        """A new relation with every dimension column re-labelled."""
+        return Relation(self.apply_dims(relation.dims), relation.measure)
+
+    def map_range(self, dim: int, lo: int, hi: int) -> np.ndarray:
+        """Sorted reordered codes of original values ``lo..hi``.
+
+        The result is contiguous iff the original range maps onto a
+        contiguous reordered range (always true for points and for the
+        full ``0..card-1`` range; rarely otherwise — the query layer
+        handles both cases).
+        """
+        perm = self.perms[int(dim)]
+        lo = max(int(lo), 0)
+        hi = min(int(hi), perm.shape[0] - 1)
+        if hi < lo:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(perm[lo : hi + 1])
+
+    # -- persistence -------------------------------------------------------
+
+    def to_manifest(self) -> dict:
+        return {"perms": [p.tolist() for p in self.perms]}
+
+    @staticmethod
+    def from_manifest(entry: Mapping) -> "ValueReorder":
+        return ValueReorder(
+            [np.asarray(p, dtype=np.int64) for p in entry["perms"]]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ValueReorder(cards={list(self.cardinalities)})"
+
+
+def reorder_relation(
+    relation: Relation,
+    cardinalities: Sequence[int],
+    sample_rows: int = DEFAULT_SAMPLE_ROWS,
+) -> tuple[Relation, ValueReorder]:
+    """Compute a frequency reorder from a sample and apply it.
+
+    The driver-side entry point ``python -m repro build --reorder``
+    uses: the returned relation feeds the (unchanged) build pipeline,
+    and the returned :class:`ValueReorder` goes to
+    :meth:`repro.olap.store.CubeStore.save` so queries keep speaking
+    original values.
+    """
+    vr = ValueReorder.from_relation(relation, cardinalities, sample_rows)
+    return vr.apply(relation), vr

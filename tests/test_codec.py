@@ -73,6 +73,90 @@ class TestBasics:
             assert np.array_equal(full // divisor, pre.pack(dims[:, :k]))
 
 
+class TestRemapEdges:
+    """Degenerate permutations that the format-3 manifest machinery
+    leans on: identity remaps, cardinality-1 digits, and the
+    unpack-permute-repack reference semantics."""
+
+    @staticmethod
+    def _reference(codec, keys, src_order, dst_order):
+        dims = codec.unpack(keys)
+        pos = {dim: p for p, dim in enumerate(src_order)}
+        cols = [pos[dim] for dim in dst_order]
+        sub = KeyCodec([int(codec.cardinalities[c]) for c in cols])
+        return sub.pack(dims[:, cols])
+
+    def test_identity_remap_returns_copy(self):
+        codec = KeyCodec([5, 4, 3])
+        keys = codec.pack(
+            np.array([[4, 3, 2], [0, 0, 0], [2, 1, 1]], dtype=np.int64)
+        )
+        out, shared = codec.remap(keys, (0, 1, 2), (0, 1, 2))
+        assert shared == 3
+        assert np.array_equal(out, keys)
+        assert out is not keys  # a copy, safe to mutate
+        out[0] = -1
+        assert keys[0] != -1
+
+    def test_cardinality_one_digits(self):
+        """Cardinality-1 dims contribute nothing to the key but must
+        survive arbitrary permutation."""
+        cards = [4, 1, 3, 1]
+        codec = KeyCodec(cards)
+        rng = np.random.default_rng(0)
+        dims = np.column_stack(
+            [rng.integers(0, c, 50) for c in cards]
+        ).astype(np.int64)
+        keys = codec.pack(dims)
+        src = (0, 1, 2, 3)
+        for dst in [(3, 1, 0, 2), (1, 3), (2, 0), (1,), ()]:
+            out, _ = codec.remap(keys, src, dst)
+            ref = self._reference(codec, keys, src, dst)
+            assert np.array_equal(out, ref), dst
+
+    def test_all_cardinality_one(self):
+        codec = KeyCodec([1, 1, 1])
+        keys = codec.pack(np.zeros((7, 3), dtype=np.int64))
+        out, shared = codec.remap(keys, (0, 1, 2), (2, 0))
+        assert np.array_equal(out, np.zeros(7, dtype=np.int64))
+        assert shared == 0
+        assert codec.capacity == 1
+
+    def test_projection_matches_reference(self):
+        cards = [6, 5, 4, 3]
+        codec = KeyCodec(cards)
+        rng = np.random.default_rng(7)
+        dims = np.column_stack(
+            [rng.integers(0, c, 200) for c in cards]
+        ).astype(np.int64)
+        src = (2, 0, 3, 1)  # codec cards are aligned with src positions
+        src_codec = KeyCodec([cards[0], cards[1], cards[2], cards[3]])
+        keys = src_codec.pack(dims)
+        for dst in [(2, 0), (2, 0, 3, 1), (1, 3, 0), (0,), ()]:
+            out, shared = src_codec.remap(keys, src, dst)
+            ref = self._reference(src_codec, keys, src, dst)
+            assert np.array_equal(out, ref), dst
+            # shared prefix really is the common leading run
+            k = 0
+            while (
+                k < min(len(src), len(dst)) and src[k] == dst[k]
+            ):
+                k += 1
+            assert shared == k
+
+    def test_remap_validation(self):
+        codec = KeyCodec([4, 3])
+        keys = np.array([0, 5], dtype=np.int64)
+        with pytest.raises(ValueError, match="repeats"):
+            codec.remap(keys, (0, 0), (0,))
+        with pytest.raises(ValueError, match="repeats"):
+            codec.remap(keys, (0, 1), (1, 1))
+        with pytest.raises(ValueError, match="not present"):
+            codec.remap(keys, (0, 1), (2,))
+        with pytest.raises(ValueError, match="packs"):
+            codec.remap(keys, (0, 1, 2), (0,))
+
+
 @st.composite
 def cards_and_rows(draw):
     width = draw(st.integers(1, 6))

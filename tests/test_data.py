@@ -9,7 +9,12 @@ from repro.data.generator import (
     generate_dataset,
     paper_preset,
 )
-from repro.data.zipf import zipf_pmf, zipf_sample
+from repro.data.zipf import (
+    scramble_labels,
+    skew_profile,
+    zipf_pmf,
+    zipf_sample,
+)
 
 
 class TestZipf:
@@ -54,6 +59,95 @@ class TestZipf:
     def test_zero_size(self):
         rng = np.random.default_rng(0)
         assert zipf_sample(5, 1.0, 0, rng).size == 0
+
+
+class TestSkewProfile:
+    def test_profiles_shape_and_bounds(self):
+        for profile in ("mixed", "ramp", "head", "flat"):
+            alphas = skew_profile(6, profile, alpha_hi=1.4, alpha_lo=0.2)
+            assert len(alphas) == 6
+            assert all(0.2 <= a <= 1.4 for a in alphas)
+
+    def test_mixed_is_seeded_and_mixed(self):
+        a = skew_profile(8, "mixed", seed=5)
+        b = skew_profile(8, "mixed", seed=5)
+        c = skew_profile(8, "mixed", seed=6)
+        assert a == b
+        assert a != c  # different shuffle
+        assert len(set(a)) == 2  # both levels present
+
+    def test_ramp_monotone(self):
+        alphas = skew_profile(5, "ramp", alpha_hi=2.0, alpha_lo=0.0)
+        assert list(alphas) == sorted(alphas, reverse=True)
+        assert alphas[0] == 2.0 and alphas[-1] == 0.0
+
+    def test_head(self):
+        alphas = skew_profile(4, "head", alpha_hi=3.0, alpha_lo=0.1)
+        assert alphas == (3.0, 0.1, 0.1, 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="profile"):
+            skew_profile(4, "bogus")
+        with pytest.raises(ValueError):
+            skew_profile(0)
+        with pytest.raises(ValueError):
+            skew_profile(4, alpha_hi=0.1, alpha_lo=0.9)
+
+    def test_feeds_dataset_spec(self):
+        cards = (64, 32, 16, 8)
+        alphas = skew_profile(4, "mixed", seed=1)
+        rel = generate_dataset(
+            DatasetSpec(n=500, cardinalities=cards, alphas=alphas)
+        )
+        assert rel.nrows == 500
+
+
+class TestScrambleLabels:
+    def test_breaks_frequency_rank_order(self):
+        """Zipf codes arrive frequency-ranked; a scramble must not
+        leave code 0 the most frequent in every column."""
+        rng = np.random.default_rng(3)
+        cards = (50, 40)
+        dims = np.column_stack(
+            [zipf_sample(c, 2.0, 4000, rng) for c in cards]
+        )
+        top_before = [np.bincount(dims[:, c]).argmax() for c in range(2)]
+        assert top_before == [0, 0]
+        out = scramble_labels(dims, cards, seed=9)
+        top_after = [
+            np.bincount(out[:, c], minlength=cards[c]).argmax()
+            for c in range(2)
+        ]
+        assert top_after != [0, 0]
+
+    def test_is_a_relabelling(self):
+        """Same multiset of per-column counts, deterministic per seed."""
+        rng = np.random.default_rng(4)
+        dims = np.column_stack([zipf_sample(9, 1.0, 1000, rng)] * 2)
+        a = scramble_labels(dims, (9, 9), seed=1)
+        b = scramble_labels(dims, (9, 9), seed=1)
+        assert np.array_equal(a, b)
+        for c in range(2):
+            before = sorted(np.bincount(dims[:, c], minlength=9))
+            after = sorted(np.bincount(a[:, c], minlength=9))
+            assert before == after
+
+    def test_spec_scramble_knob(self):
+        plain = DatasetSpec(800, (32, 16), (2.0, 1.0), seed=11)
+        scrambled = DatasetSpec(
+            800, (32, 16), (2.0, 1.0), seed=11, scramble=True
+        )
+        a, b = generate_dataset(plain), generate_dataset(scrambled)
+        # same measures, relabelled dims
+        assert np.array_equal(a.measure, b.measure)
+        assert not np.array_equal(a.dims, b.dims)
+        for c in range(2):
+            assert sorted(np.bincount(a.dims[:, c], minlength=32)) == \
+                sorted(np.bincount(b.dims[:, c], minlength=32))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="expected"):
+            scramble_labels(np.zeros((4, 3), dtype=np.int64), (8, 8))
 
 
 class TestDatasetSpec:

@@ -1,0 +1,368 @@
+"""Tests for the hybrid dense/sparse layout (repro.storage.dense), the
+serving-side HybridView, and store format 3."""
+
+import numpy as np
+import pytest
+
+from repro.config import MachineSpec
+from repro.core.audit import audit_cube
+from repro.core.cube import build_data_cube
+from repro.olap import (
+    CubeStore,
+    HybridView,
+    Query,
+    QueryEngine,
+    QueryService,
+)
+from repro.olap.index import SortedView
+from repro.storage.dense import (
+    DEFAULT_BLOCK_CELLS,
+    build_hybrid,
+    density_threshold,
+    expand_hybrid,
+)
+from tests.conftest import make_relation
+
+CARDS = (12, 8, 5, 3)
+BASE = (0, 1, 2, 3)
+
+
+def sorted_unique(rng, capacity, n):
+    keys = np.sort(rng.choice(capacity, size=min(n, capacity), replace=False))
+    return keys.astype(np.int64), rng.random(keys.shape[0])
+
+
+# ---------------------------------------------------------------------------
+# layout construction
+# ---------------------------------------------------------------------------
+
+
+class TestDensityThreshold:
+    def test_calibrated_value(self):
+        # (8 value bytes + 1/8 mask byte) per cell vs 16 bytes per row
+        assert density_threshold() == 0.5078125
+
+    def test_break_even(self):
+        """At exactly the threshold, dense and sparse bytes tie."""
+        cells = 1024
+        rows = int(density_threshold() * cells)
+        dense_bytes = cells * 8 + cells // 8
+        sparse_bytes = rows * 16
+        assert dense_bytes == sparse_bytes
+
+
+class TestBuildHybrid:
+    def test_empty(self):
+        layout = build_hybrid(
+            np.empty(0, dtype=np.int64), np.empty(0), capacity=100
+        )
+        assert layout.nrows == 0
+        assert layout.n_dense_rows == 0 and layout.n_sparse_rows == 0
+        keys, meas = expand_hybrid(layout)
+        assert keys.size == 0 and meas.size == 0
+
+    def test_fully_dense_full_blocks_omit_mask(self):
+        capacity = 256
+        keys = np.arange(capacity, dtype=np.int64)
+        meas = np.arange(capacity, dtype=np.float64)
+        layout = build_hybrid(keys, meas, capacity, block_cells=64)
+        assert layout.dense_blocks.tolist() == [0, 1, 2, 3]
+        assert layout.dense_full.all()
+        assert layout.dense_mask.size == 0  # full blocks carry no mask
+        assert layout.n_sparse_rows == 0
+        k, m = expand_hybrid(layout)
+        assert np.array_equal(k, keys) and np.array_equal(m, meas)
+
+    def test_all_sparse(self):
+        rng = np.random.default_rng(0)
+        keys, meas = sorted_unique(rng, 100_000, 50)
+        layout = build_hybrid(keys, meas, 100_000, block_cells=64)
+        assert layout.n_dense_rows == 0
+        assert np.array_equal(layout.sparse_keys, keys)
+        k, m = expand_hybrid(layout)
+        assert np.array_equal(k, keys) and np.array_equal(m, meas)
+
+    def test_zero_measures_survive(self):
+        """The occupancy mask distinguishes 'absent' from 'sums to 0'."""
+        keys = np.array([0, 1, 2, 3, 5, 6, 7], dtype=np.int64)
+        meas = np.zeros(7, dtype=np.float64)
+        layout = build_hybrid(keys, meas, capacity=8, block_cells=8)
+        assert layout.n_dense_rows == 7
+        assert not layout.dense_full[0]  # cell 4 empty -> mask present
+        k, m = expand_hybrid(layout)
+        assert np.array_equal(k, keys)
+        assert np.array_equal(m, meas)
+
+    def test_capacity_smaller_than_block(self):
+        """The tail block is short; density uses the real cell count."""
+        keys = np.arange(10, dtype=np.int64)
+        meas = np.ones(10)
+        layout = build_hybrid(keys, meas, capacity=10, block_cells=1024)
+        assert layout.dense_blocks.tolist() == [0]
+        assert layout.cells_of(0) == 10
+        assert layout.dense_full[0]
+        k, m = expand_hybrid(layout)
+        assert np.array_equal(k, keys) and np.array_equal(m, meas)
+
+    def test_threshold_override(self):
+        rng = np.random.default_rng(1)
+        keys, meas = sorted_unique(rng, 1024, 200)  # ~20% occupancy
+        forced_dense = build_hybrid(
+            keys, meas, 1024, block_cells=64, threshold=0.0
+        )
+        assert forced_dense.n_sparse_rows == 0
+        forced_sparse = build_hybrid(
+            keys, meas, 1024, block_cells=64, threshold=1.01
+        )
+        assert forced_sparse.n_dense_rows == 0
+        for layout in (forced_dense, forced_sparse):
+            k, m = expand_hybrid(layout)
+            assert np.array_equal(k, keys) and np.array_equal(m, meas)
+
+    def test_sparse_before_is_prefix_of_residue(self):
+        rng = np.random.default_rng(2)
+        head = np.arange(0, 600, dtype=np.int64)  # dense blocks
+        tail = 600 + np.sort(
+            rng.choice(3496, size=300, replace=False)
+        )  # sparse tail
+        keys = np.concatenate([head, tail]).astype(np.int64)
+        meas = rng.random(keys.shape[0])
+        layout = build_hybrid(keys, meas, 4096, block_cells=64)
+        assert layout.n_dense_rows > 0 and layout.n_sparse_rows > 0
+        for i, bid in enumerate(layout.dense_blocks):
+            want = int(
+                np.searchsorted(
+                    layout.sparse_keys, bid * layout.block_cells, "left"
+                )
+            )
+            assert int(layout.sparse_before[i]) == want
+
+    def test_roundtrip_random(self):
+        rng = np.random.default_rng(3)
+        for trial in range(20):
+            capacity = int(rng.integers(1, 5000))
+            n = int(rng.integers(0, capacity + 1))
+            bc = int(rng.integers(1, 300))
+            keys, meas = sorted_unique(rng, capacity, n)
+            layout = build_hybrid(keys, meas, capacity, block_cells=bc)
+            k, m = expand_hybrid(layout)
+            assert np.array_equal(k, keys), (trial, capacity, n, bc)
+            assert np.array_equal(m, meas)
+            assert layout.n_dense_rows + layout.n_sparse_rows == keys.size
+
+    def test_validation(self):
+        keys = np.array([0, 5], dtype=np.int64)
+        meas = np.zeros(2)
+        with pytest.raises(ValueError, match="outside"):
+            build_hybrid(keys, meas, capacity=5)
+        with pytest.raises(ValueError, match="matching"):
+            build_hybrid(keys, np.zeros(3), capacity=10)
+        with pytest.raises(ValueError, match="block_cells"):
+            build_hybrid(keys, meas, capacity=10, block_cells=0)
+
+    def test_stored_bytes(self):
+        keys = np.arange(128, dtype=np.int64)
+        meas = np.ones(128)
+        layout = build_hybrid(keys, meas, 128, block_cells=64)
+        # two full dense blocks: values only, no mask, no sparse rows
+        assert layout.stored_bytes() == 128 * 8
+
+
+# ---------------------------------------------------------------------------
+# HybridView vs the plain sorted view
+# ---------------------------------------------------------------------------
+
+
+class TestHybridView:
+    @pytest.fixture(scope="class")
+    def columns(self):
+        rng = np.random.default_rng(7)
+        capacity = 8192
+        # heavy head + sparse tail: both block kinds present
+        head = np.arange(0, 1500, dtype=np.int64)
+        tail = 1500 + np.sort(
+            rng.choice(capacity - 1500, size=400, replace=False)
+        )
+        keys = np.concatenate([head, tail]).astype(np.int64)
+        meas = rng.random(keys.shape[0])
+        return keys, meas, capacity
+
+    @pytest.fixture(scope="class")
+    def views(self, columns):
+        keys, meas, capacity = columns
+        layout = build_hybrid(keys, meas, capacity, block_cells=128)
+        assert layout.n_dense_rows > 0 and layout.n_sparse_rows > 0
+        hybrid = HybridView.from_layout(BASE, layout)
+        plain = SortedView(BASE, keys, meas)
+        return hybrid, plain
+
+    def test_geometry(self, views, columns):
+        hybrid, plain = views
+        keys, _, _ = columns
+        assert hybrid.nrows == plain.nrows == keys.size
+        assert hybrid.n_dense_rows + hybrid.n_sparse_rows == keys.size
+
+    def test_range_matches_sorted_view(self, views, columns):
+        hybrid, plain = views
+        _, _, capacity = columns
+        rng = np.random.default_rng(11)
+        spans = [(0, capacity - 1), (0, 0), (capacity - 1, capacity - 1)]
+        for _ in range(200):
+            lo = int(rng.integers(0, capacity))
+            hi = int(rng.integers(lo, capacity))
+            spans.append((lo, hi))
+        def norm(r):
+            # empty ranges may be reported at any position
+            return r if r[1] > r[0] else (0, 0)
+
+        for lo, hi in spans:
+            assert norm(hybrid.range(lo, hi)) == norm(
+                plain.range(lo, hi)
+            ), (lo, hi)
+
+    def test_read_matches_sorted_view(self, views):
+        hybrid, plain = views
+        n = hybrid.nrows
+        rng = np.random.default_rng(13)
+        windows = [(0, n), (0, 0), (n - 1, n)]
+        for _ in range(100):
+            a = int(rng.integers(0, n + 1))
+            b = int(rng.integers(a, n + 1))
+            windows.append((a, b))
+        for a, b in windows:
+            hk, hm = hybrid.read(a, b)
+            pk, pm = plain.read(a, b)
+            assert np.array_equal(hk, pk), (a, b)
+            assert np.array_equal(hm, pm), (a, b)
+
+    def test_range_kind(self, views):
+        hybrid, _ = views
+        bc = hybrid.block_cells
+        dense_set = set(hybrid.blocks.tolist())
+        rng = np.random.default_rng(17)
+        for _ in range(100):
+            lo = int(rng.integers(0, hybrid.capacity))
+            hi = int(rng.integers(lo, hybrid.capacity))
+            covered = set(range(lo // bc, hi // bc + 1))
+            if covered <= dense_set:
+                want = "dense"
+            elif not (covered & dense_set):
+                want = "sparse"
+            else:
+                want = "mixed"
+            assert hybrid.range_kind(lo, hi) == want, (lo, hi)
+        assert hybrid.range_kind(5, 4) == "empty"
+
+    def test_out_of_bounds_keys(self, views):
+        hybrid, plain = views
+        assert hybrid.range(-10, hybrid.capacity + 10) == (0, hybrid.nrows)
+        assert hybrid.range(hybrid.capacity + 1, hybrid.capacity + 5) == (0, 0)
+
+
+# ---------------------------------------------------------------------------
+# store format 3
+# ---------------------------------------------------------------------------
+
+QUERIES = [
+    Query(group_by=(0,)),
+    Query(group_by=(0, 1), filters={2: (1, 3)}),
+    Query(group_by=(1,), filters={0: (2, 2), 3: (0, 1)}),
+    Query(group_by=(2, 3), filters={0: (5, 5)}),
+    Query(group_by=(), filters={1: (0, 4)}),
+    Query(group_by=(0, 2), filters={0: (1, 6)}, having=(">=", 10.0)),
+    Query(group_by=(), filters={d: (1, 1) for d in range(4)}),
+]
+
+
+@pytest.fixture(scope="module")
+def cube():
+    rel = make_relation(4000, CARDS, seed=21, alphas=(1.2, 0.9, 0.5, 0.2))
+    return build_data_cube(rel, CARDS, MachineSpec(p=2))
+
+
+@pytest.fixture(scope="module")
+def paths(cube, tmp_path_factory):
+    root = tmp_path_factory.mktemp("fmt3")
+    p2 = CubeStore.save(cube, str(root / "f2"), format=2)
+    p3 = CubeStore.save(cube, str(root / "f3"), format=3, block_cells=64)
+    return p2, p3
+
+
+class TestStoreV3:
+    def test_load_roundtrip_bit_identical(self, cube, paths):
+        _, p3 = paths
+        back = CubeStore.load(p3)
+        for rank, rank_views in enumerate(cube.rank_views):
+            for view, vd in rank_views.items():
+                got = back.rank_views[rank][view]
+                assert np.array_equal(got.keys, vd.keys), (rank, view)
+                assert np.array_equal(got.measure, vd.measure)
+
+    def test_manifest_autodetect_and_geometry(self, paths):
+        _, p3 = paths
+        handle = CubeStore.open(p3)
+        assert handle.block_cells == 64
+        views = handle.sorted_views
+        assert all(isinstance(sv, HybridView) for sv in views.values())
+        base = views[BASE]
+        # the fixture data produces a genuine mix in the base view
+        assert base.n_dense_blocks > 0 and base.n_sparse_rows > 0
+
+    def test_default_block_cells(self, cube, tmp_path):
+        path = CubeStore.save(cube, str(tmp_path / "dflt"), format=3)
+        assert CubeStore.open(path).block_cells == DEFAULT_BLOCK_CELLS
+
+    def test_audit_ok(self, paths):
+        _, p3 = paths
+        report = audit_cube(CubeStore.open(p3).cube)
+        assert report.ok, report.issues
+
+    def test_answers_identical_across_formats_and_paths(self, paths):
+        p2, p3 = paths
+        h2, h3 = CubeStore.open(p2), CubeStore.open(p3)
+        engines = [
+            h2.query_engine(index=True),
+            h2.query_engine(index=False),
+            h3.query_engine(index=True),
+            h3.query_engine(index=False),
+        ]
+        for query in QUERIES:
+            answers = [e.answer(query) for e in engines]
+            for other in answers[1:]:
+                assert np.array_equal(answers[0].dims, other.dims), query
+                assert np.array_equal(
+                    answers[0].measure, other.measure
+                ), query
+
+    def test_explain_reports_dense_path(self, paths):
+        _, p3 = paths
+        engine = CubeStore.open(p3).query_engine()
+        # all-dims point at the hot corner: key 0 lives in a dense block
+        plan = engine.explain(
+            Query(group_by=(), filters={d: (0, 0) for d in range(4)})
+        )
+        assert plan.access_path == "dense"
+        # tiny views are fully dense: even an unfiltered group-by
+        # resolves by offset arithmetic
+        assert engine.explain(Query(group_by=(3,))).access_path == "dense"
+        # with the index disabled everything degrades to a scan
+        noindex = CubeStore.open(p3).query_engine(index=False)
+        assert noindex.explain(Query(group_by=(3,))).access_path == "scan"
+
+    def test_meter_charges_hybrid_reads(self, paths):
+        _, p3 = paths
+        handle = CubeStore.open(p3)
+        engine = handle.query_engine()
+        engine.answer(Query(group_by=(), filters={d: (0, 0) for d in range(4)}))
+        assert handle.meter.bytes_touched > 0
+        assert handle.meter.maps_opened > 0
+
+    def test_service_on_format3_store(self, cube, paths):
+        _, p3 = paths
+        reference = QueryEngine(cube, index=False)
+        with QueryService(p3, workers=2) as service:
+            results = service.answer_many(QUERIES, timeout=90)
+        for query, got in zip(QUERIES, results):
+            want = reference.answer(query)
+            assert np.array_equal(want.dims, got.dims), query
+            assert np.array_equal(want.measure, got.measure), query

@@ -26,9 +26,28 @@ class TestBuildMolap:
         ref = reference_cube(dataset, CARDS)
         for view, want in ref.items():
             got = cube.view_relation(view)
-            # dense arrays cannot distinguish "absent" from "sums to 0";
-            # with positive measures the occupied cells are exact
+            # occupancy comes from the rolled-up counts, so occupied
+            # cells are exact even where measures sum to zero
             assert got.same_content(want), view
+
+    def test_zero_sum_cells_survive(self):
+        """A cell whose measures cancel to 0.0 is still occupied — the
+        count roll-up distinguishes it from an absent cell."""
+        dims = np.array(
+            [[0, 0, 0], [0, 0, 0], [1, 1, 1]], dtype=np.int64
+        )
+        measure = np.array([2.5, -2.5, 7.0])
+        from repro.storage.table import Relation
+
+        rel = Relation(dims, measure)
+        cube = build_molap_cube(rel, (2, 2, 2))
+        ref = reference_cube(rel, (2, 2, 2))
+        for view, want in ref.items():
+            got = cube.view_relation(view)
+            assert got.same_content(want), view
+        base = cube.view_relation((0, 1, 2))
+        assert base.nrows == 2  # the zero-sum cell is present
+        assert 0.0 in base.measure.tolist()
 
     def test_all_views_materialised(self, dataset):
         cube = build_molap_cube(dataset, CARDS)

@@ -1,0 +1,290 @@
+"""Tests for attribute-value reordering (repro.storage.reorder) and the
+query-side translation layer (ReorderedQueryEngine)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.reference import reference_view
+from repro.config import MachineSpec
+from repro.core.cube import build_data_cube
+from repro.data.generator import DatasetSpec, generate_dataset
+from repro.olap import CubeStore, Query, QueryEngine, ReorderedQueryEngine
+from repro.storage.reorder import ValueReorder, reorder_relation
+from repro.storage.table import Relation
+
+CARDS = (12, 8, 5, 3)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    """Skewed, label-scrambled data: reordering has work to do."""
+    return generate_dataset(
+        DatasetSpec(
+            n=4000,
+            cardinalities=CARDS,
+            alphas=(1.2, 0.9, 0.5, 0.2),
+            seed=17,
+            scramble=True,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def reordered(dataset):
+    return reorder_relation(dataset, CARDS)
+
+
+@pytest.fixture(scope="module")
+def cube(reordered):
+    rel, _ = reordered
+    return build_data_cube(rel, CARDS, MachineSpec(p=2))
+
+
+def oracle(dataset, group_by, filters=None, agg="sum"):
+    """Ground truth in original value space."""
+    mask = np.ones(dataset.nrows, dtype=bool)
+    for dim, bounds in (filters or {}).items():
+        lo, hi = bounds if isinstance(bounds, tuple) else (bounds, bounds)
+        mask &= (dataset.dims[:, dim] >= lo) & (dataset.dims[:, dim] <= hi)
+    filtered = Relation(dataset.dims[mask], dataset.measure[mask])
+    return reference_view(filtered, CARDS, group_by, agg)
+
+
+# ---------------------------------------------------------------------------
+# ValueReorder
+# ---------------------------------------------------------------------------
+
+
+class TestValueReorder:
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError, match="permutation"):
+            ValueReorder([np.array([0, 0, 1])])
+        with pytest.raises(ValueError, match="permutation"):
+            ValueReorder([np.array([1, 2, 3])])
+        with pytest.raises(ValueError, match="permutation"):
+            ValueReorder([np.empty(0, dtype=np.int64)])
+
+    def test_identity(self):
+        vr = ValueReorder.identity((4, 3, 1))
+        assert vr.is_identity
+        assert vr.width == 3
+        assert vr.cardinalities == (4, 3, 1)
+        dims = np.array([[3, 2, 0], [0, 0, 0]], dtype=np.int64)
+        assert np.array_equal(vr.apply_dims(dims), dims)
+
+    def test_inverse_recorded(self):
+        vr = ValueReorder([np.array([2, 0, 1, 3])])
+        assert np.array_equal(vr.inverse[0], np.array([1, 2, 0, 3]))
+
+    def test_from_sample_frequency_ranking(self):
+        # value 2 seen 3x, value 0 seen 1x, values 1 and 3 unseen.
+        sample = np.array([[2], [2], [0], [2]], dtype=np.int64)
+        vr = ValueReorder.from_sample(sample, (4,))
+        perm = vr.perms[0]
+        assert perm[2] == 0          # most frequent -> smallest code
+        assert perm[0] == 1
+        # unseen values keep ascending original order after seen ones
+        assert perm[1] == 2 and perm[3] == 3
+
+    def test_from_sample_tie_break_deterministic(self):
+        # all values equally frequent -> identity (ties by orig code)
+        sample = np.repeat(np.arange(5), 3).reshape(-1, 1)
+        vr = ValueReorder.from_sample(sample, (5,))
+        assert vr.is_identity
+
+    def test_from_sample_empty_sample(self):
+        vr = ValueReorder.from_sample(
+            np.empty((0, 2), dtype=np.int64), (3, 2)
+        )
+        assert vr.is_identity
+
+    def test_cardinality_one_dim(self):
+        vr = ValueReorder.from_sample(
+            np.zeros((10, 1), dtype=np.int64), (1,)
+        )
+        assert vr.is_identity and vr.cardinalities == (1,)
+
+    def test_apply_invert_roundtrip(self, dataset):
+        vr = ValueReorder.from_relation(dataset, CARDS)
+        out = vr.apply(dataset)
+        assert np.array_equal(
+            vr.invert_dims(out.dims), dataset.dims
+        )
+        assert out.measure is dataset.measure or np.array_equal(
+            out.measure, dataset.measure
+        )
+
+    def test_invert_dims_projection(self):
+        vr = ValueReorder(
+            [np.array([1, 0]), np.array([2, 0, 1]), np.array([0])]
+        )
+        # columns are (dim 2, dim 1) of some view projection
+        reordered = np.array([[0, 2], [0, 0]], dtype=np.int64)
+        back = vr.invert_dims(reordered, dims_of=(2, 1))
+        # dim 1's perm [2, 0, 1] has inverse [1, 2, 0]: 2 -> 0, 0 -> 1
+        assert np.array_equal(
+            back, np.array([[0, 0], [0, 1]], dtype=np.int64)
+        )
+
+    def test_map_range_point_and_full(self):
+        vr = ValueReorder([np.array([1, 3, 0, 2])])
+        assert vr.map_range(0, 1, 1).tolist() == [3]
+        assert vr.map_range(0, 0, 3).tolist() == [0, 1, 2, 3]
+
+    def test_map_range_non_contiguous(self):
+        vr = ValueReorder([np.array([1, 3, 0, 2])])
+        assert vr.map_range(0, 0, 1).tolist() == [1, 3]
+
+    def test_map_range_clamps(self):
+        vr = ValueReorder([np.array([1, 3, 0, 2])])
+        assert vr.map_range(0, 2, 99).tolist() == [0, 2]
+        assert vr.map_range(0, 5, 9).size == 0
+        assert vr.map_range(0, 3, 1).size == 0
+
+    def test_manifest_roundtrip(self):
+        vr = ValueReorder([np.array([2, 0, 1]), np.array([0, 1])])
+        back = ValueReorder.from_manifest(vr.to_manifest())
+        for a, b in zip(vr.perms, back.perms):
+            assert np.array_equal(a, b)
+        for a, b in zip(vr.inverse, back.inverse):
+            assert np.array_equal(a, b)
+
+    def test_shape_validation(self):
+        vr = ValueReorder.identity((4, 3))
+        with pytest.raises(ValueError, match="expected"):
+            vr.apply_dims(np.zeros((2, 3), dtype=np.int64))
+        with pytest.raises(ValueError, match="expected"):
+            vr.invert_dims(np.zeros((2, 1), dtype=np.int64))
+
+
+class TestReorderRelation:
+    def test_recovers_frequency_order(self, dataset, reordered):
+        """After reordering, code 0 is the most frequent value in every
+        skewed dimension — scrambled labels are undone."""
+        rel, vr = reordered
+        assert not vr.is_identity
+        for col in range(2):  # the strongly skewed dims
+            counts = np.bincount(rel.dims[:, col], minlength=CARDS[col])
+            assert counts.argmax() == 0
+            assert np.all(np.diff(counts) <= 0)  # monotone non-increasing
+
+    def test_content_preserved(self, dataset, reordered):
+        rel, vr = reordered
+        assert rel.nrows == dataset.nrows
+        assert np.array_equal(vr.invert_dims(rel.dims), dataset.dims)
+        assert np.array_equal(rel.measure, dataset.measure)
+
+    def test_sampled_reorder_close_to_exact(self, dataset):
+        """The stride sample ranks the heavy hitters like the full data."""
+        sampled = ValueReorder.from_relation(dataset, CARDS, sample_rows=512)
+        exact = ValueReorder.from_sample(dataset.dims, CARDS)
+        for col in range(len(CARDS)):
+            # the single most frequent value agrees
+            assert (
+                sampled.inverse[col][0] == exact.inverse[col][0]
+            )
+
+
+# ---------------------------------------------------------------------------
+# store round-trip + ReorderedQueryEngine
+# ---------------------------------------------------------------------------
+
+QUERIES = [
+    Query(group_by=(0,)),
+    Query(group_by=(0, 1), filters={2: (1, 3)}),
+    Query(group_by=(1,), filters={0: (2, 2), 3: (0, 1)}),
+    Query(group_by=(2, 3), filters={0: (5, 5)}),
+    Query(group_by=(), filters={1: (0, 4)}),
+    Query(group_by=(1, 3), filters={1: (2, 6), 2: (0, 2)}),
+    Query(group_by=(0, 2), filters={0: (1, 6)}, having=(">=", 200.0)),
+]
+
+
+class TestReorderedStore:
+    @pytest.fixture(scope="class")
+    def handles(self, cube, reordered, tmp_path_factory):
+        _, vr = reordered
+        root = tmp_path_factory.mktemp("reorder")
+        p2 = CubeStore.save(cube, str(root / "f2"), format=2, reorder=vr)
+        p3 = CubeStore.save(cube, str(root / "f3"), format=3, reorder=vr)
+        return CubeStore.open(p2), CubeStore.open(p3)
+
+    def test_manifest_records_permutations(self, handles, reordered):
+        _, vr = reordered
+        for handle in handles:
+            assert handle.reorder is not None
+            for a, b in zip(handle.reorder.perms, vr.perms):
+                assert np.array_equal(a, b)
+            for a, b in zip(handle.reorder.inverse, vr.inverse):
+                assert np.array_equal(a, b)
+
+    def test_engine_is_wrapped(self, handles):
+        for handle in handles:
+            engine = handle.query_engine()
+            assert isinstance(engine, ReorderedQueryEngine)
+
+    def test_identity_reorder_not_persisted(self, cube, tmp_path):
+        vr = ValueReorder.identity(CARDS)
+        path = CubeStore.save(
+            cube, str(tmp_path / "ident"), format=2, reorder=vr
+        )
+        handle = CubeStore.open(path)
+        assert handle.reorder is None
+        assert isinstance(handle.query_engine(), QueryEngine)
+
+    def test_answers_match_oracle(self, handles, dataset):
+        """Wrapper answers are in original values and bit-identical
+        across formats 2 and 3."""
+        h2, h3 = handles
+        e2, e3 = h2.query_engine(), h3.query_engine()
+        for query in QUERIES:
+            a2, a3 = e2.answer(query), e3.answer(query)
+            assert np.array_equal(a2.dims, a3.dims), query
+            assert np.array_equal(a2.measure, a3.measure), query
+            if query.having is None:
+                want = oracle(dataset, query.group_by, query.filters)
+                assert np.array_equal(a2.dims, want.dims), query
+                assert np.allclose(a2.measure, want.measure), query
+
+    def test_having_after_reaggregation(self, handles, dataset):
+        h2, _ = handles
+        query = QUERIES[-1]
+        got = h2.query_engine().answer(query)
+        op, threshold = query.having
+        want = oracle(dataset, query.group_by, query.filters)
+        keep = want.measure >= threshold
+        assert np.array_equal(got.dims, want.dims[keep])
+        assert np.allclose(got.measure, want.measure[keep])
+
+    def test_scan_and_index_agree(self, handles):
+        h2, h3 = handles
+        for handle in (h2, h3):
+            fast = handle.query_engine(index=True)
+            slow = handle.query_engine(index=False)
+            for query in QUERIES:
+                a, b = fast.answer(query), slow.answer(query)
+                assert np.array_equal(a.dims, b.dims), query
+                assert np.array_equal(a.measure, b.measure), query
+
+    def test_answer_parallel_matches(self, handles):
+        h2, _ = handles
+        engine = h2.query_engine()
+        for query in QUERIES:
+            serial = engine.answer(query)
+            dist, seconds = engine.answer_parallel(query)
+            assert np.array_equal(serial.dims, dist.dims), query
+            assert np.allclose(serial.measure, dist.measure), query
+            assert seconds >= 0.0
+
+    def test_clamped_filter_returns_empty(self, handles):
+        h2, _ = handles
+        got = h2.query_engine().answer(
+            Query(group_by=(0,), filters={1: (100, 200)})
+        )
+        assert got.nrows == 0 and got.width == 1
+
+    def test_explain_delegates(self, handles):
+        h2, _ = handles
+        engine = h2.query_engine()
+        plan = engine.explain(Query(group_by=(0,), filters={0: (2, 2)}))
+        assert plan.access_path in ("index", "dense", "scan")

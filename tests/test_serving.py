@@ -282,7 +282,7 @@ class TestStoreV2:
 
     def test_unknown_format_rejected(self, cube, tmp_path):
         with pytest.raises(ValueError, match="format"):
-            CubeStore.save(cube, str(tmp_path / "x"), format=3)
+            CubeStore.save(cube, str(tmp_path / "x"), format=4)
 
     def test_meter_counts_index_reads(self, cube, tmp_path):
         path = CubeStore.save(cube, str(tmp_path / "v2"))
