@@ -2,14 +2,17 @@
 
 Subcommands::
 
-    python -m repro build  --rows 20000 --p 8 --out ./cube.d
-    python -m repro info   ./cube.d
-    python -m repro query  ./cube.d --group-by 0,1 --filter 2=0:3
+    python -m repro build   --rows 20000 --p 8 --out ./cube.d
+    python -m repro info    ./cube.d
+    python -m repro query   ./cube.d --group-by 0,1 --filter 2=0:3
+    python -m repro refresh ./cube.d --rows 1000
     python -m repro demo
 
 ``build`` generates a synthetic data set (the paper's parameter presets)
 and constructs its cube on the simulated cluster; ``query`` serves
-group-bys from a stored cube; ``info`` prints a stored cube's inventory.
+group-bys from a stored cube; ``info`` prints a stored cube's inventory;
+``refresh`` folds a delta batch into a stored cube as a new generation
+(incremental maintenance — see ``repro.olap.refresh``).
 For the paper-figure experiments use ``python -m repro.bench``.
 """
 
@@ -195,6 +198,57 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_refresh(args: argparse.Namespace) -> int:
+    from repro import MachineSpec
+    from repro.olap import CubeStore
+    from repro.olap.refresh import refresh_store
+    from repro.storage.table import Relation
+
+    handle = CubeStore.open(args.path)
+    cards = handle.cardinalities
+    if args.from_csv:
+        from repro.storage.relio import read_csv
+
+        if not args.dimensions or not args.measure:
+            print("--from-csv needs --dimensions and --measure")
+            return 2
+        ds = read_csv(
+            args.from_csv, args.dimensions.split(","), args.measure
+        )
+        delta = ds.relation
+        print(f"loaded {delta.nrows:,} delta rows from {args.from_csv}")
+    else:
+        rng = np.random.default_rng(args.seed)
+        dims = np.column_stack(
+            [
+                rng.integers(0, c, size=args.rows, dtype=np.int64)
+                for c in cards
+            ]
+        )
+        measure = rng.integers(1, 100, size=args.rows).astype(np.float64)
+        delta = Relation(dims, measure)
+        print(f"generated {delta.nrows:,} synthetic delta rows")
+    report = refresh_store(
+        args.path, delta, spec=MachineSpec(p=args.p), gc=args.gc
+    )
+    print(
+        f"refreshed {args.path}: generation "
+        f"{report.previous_generation} -> {report.generation} "
+        f"({report.path})"
+    )
+    print(
+        f"  {report.views_merged} views merged, {report.views_linked} "
+        f"hard-linked unchanged, {report.rows_added:,} rows added, "
+        f"{report.blocks_promoted} blocks promoted to dense"
+    )
+    print(
+        f"  delta build {report.delta_build_seconds:.3f}s + merge "
+        f"{report.merge_seconds:.3f}s; {report.files_written} files "
+        f"written, {report.files_linked} linked"
+    )
+    return 0
+
+
 def cmd_serve_bench(args: argparse.Namespace) -> int:
     import os
     import tempfile
@@ -203,6 +257,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.olap import CubeStore, QueryService, ServicePolicy
     from repro.olap.servebench import (
         run_at_rate,
+        run_with_refresh,
         serving_workload,
         synthetic_serving_cube,
     )
@@ -248,6 +303,59 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             serve_faults=serve_faults,
         ) as service:
             service.answer_many(workload[:8])  # warm the pool
+            if args.refresh_every:
+                from repro.olap import Query
+                from repro.storage.table import Relation
+
+                rng = np.random.default_rng(args.seed + 1)
+                offered = args.qps[0]
+                n_total = max(
+                    int(offered * args.duration), args.refresh_every + 1
+                )
+                n_batches = max(n_total // args.refresh_every, 1)
+                batches = []
+                for _ in range(n_batches):
+                    dims = np.column_stack(
+                        [
+                            rng.integers(
+                                0, c, size=args.delta_rows,
+                                dtype=np.int64,
+                            )
+                            for c in cards
+                        ]
+                    )
+                    measure = rng.integers(
+                        1, 100, size=args.delta_rows
+                    ).astype(np.float64)
+                    batches.append(Relation(dims, measure))
+                print(
+                    f"live refresh: {n_batches} delta batches x "
+                    f"{args.delta_rows:,} rows, one every "
+                    f"{args.refresh_every} submissions"
+                )
+                rung = run_with_refresh(
+                    service,
+                    workload,
+                    batches,
+                    offered,
+                    n_total,
+                    args.refresh_every,
+                    probe=Query(group_by=(0,)),
+                )
+                window = rung["refresh_window"]
+                print(
+                    f"  availability {rung['availability']:.4f} "
+                    f"({rung['completed']}/{rung['offered']}), "
+                    f"generation {rung['generation_start']} -> "
+                    f"{rung['generation_end']}, probe fresh: "
+                    f"{rung['probe_fresh']}"
+                )
+                print(
+                    f"  overall p50 {rung['p50_ms']:.2f} ms  p99 "
+                    f"{rung['p99_ms']:.2f} ms; during refresh windows "
+                    f"({window['completed']} queries) p99 "
+                    f"{window['p99_ms'] if window['p99_ms'] is None else round(window['p99_ms'], 2)} ms"
+                )
             for offered in args.qps:
                 rung = run_at_rate(
                     service, workload, offered, args.duration
@@ -424,7 +532,39 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--suspect-after", type=float, default=5.0,
                          help="declare a silent worker hung after this "
                               "many seconds")
+    p_serve.add_argument("--refresh-every", type=int, default=0,
+                         help="fold a delta batch into the store every N "
+                              "submissions (background refresh thread; "
+                              "0 = off) and report availability plus "
+                              "p99 during refresh windows")
+    p_serve.add_argument("--delta-rows", type=int, default=5_000,
+                         help="rows per delta batch (with "
+                              "--refresh-every)")
     p_serve.set_defaults(fn=cmd_serve_bench)
+
+    p_refresh = sub.add_parser(
+        "refresh",
+        help="fold a delta batch into a stored cube as a new generation",
+    )
+    p_refresh.add_argument("path")
+    p_refresh.add_argument("--rows", type=int, default=1_000,
+                           help="synthetic delta rows (uniform over the "
+                                "store's cardinalities)")
+    p_refresh.add_argument("--p", type=int, default=4,
+                           help="virtual processors for the delta build")
+    p_refresh.add_argument("--seed", type=int, default=0xC0FFEE)
+    p_refresh.add_argument("--gc", action="store_true",
+                           help="remove superseded generation "
+                                "directories after publishing")
+    p_refresh.add_argument("--from-csv", default=None,
+                           help="read the delta from a CSV fact table "
+                                "instead of synthesizing one")
+    p_refresh.add_argument("--dimensions", default=None,
+                           help="comma-separated dimension columns "
+                                "(with --from-csv)")
+    p_refresh.add_argument("--measure", default=None,
+                           help="measure column (with --from-csv)")
+    p_refresh.set_defaults(fn=cmd_refresh)
 
     p_demo = sub.add_parser("demo", help="tiny end-to-end demonstration")
     p_demo.add_argument("--p", type=int, default=8)

@@ -15,12 +15,39 @@ from repro.storage.table import Relation
 
 __all__ = [
     "SUPPORTED_AGGS",
+    "INSERT_MAINTAINABLE_AGGS",
     "combine_scalar",
     "combine_arrays",
     "prepare_measure",
+    "require_insert_maintainable",
 ]
 
 SUPPORTED_AGGS = ("sum", "count", "min", "max")
+
+#: Aggregates a cube can maintain under *insert-only* deltas by
+#: combining partial aggregates (the distributive functions).  AVG-style
+#: algebraic aggregates would need auxiliary columns (sum + count), and
+#: holistic ones (MEDIAN, DISTINCT) can't be maintained at all — both
+#: must be rebuilt, never refreshed.
+INSERT_MAINTAINABLE_AGGS = ("sum", "count", "min", "max")
+
+
+def require_insert_maintainable(agg: str, context: str = "refresh") -> str:
+    """Reject aggregates that cannot absorb a delta by combination.
+
+    Every refresh entry point calls this before touching any state, so a
+    non-maintainable aggregate fails loudly instead of silently writing
+    wrong totals.  Returns ``agg`` unchanged when it is maintainable.
+    """
+    if agg not in INSERT_MAINTAINABLE_AGGS:
+        raise ValueError(
+            f"{context} requires an insert-maintainable aggregate "
+            f"(one of {INSERT_MAINTAINABLE_AGGS}); got {agg!r}. "
+            "AVG-style or custom aggregates without a combine rule "
+            "cannot fold deltas into existing partials - rebuild the "
+            "cube from the full input instead."
+        )
+    return agg
 
 
 def prepare_measure(relation: Relation, agg: str) -> tuple[Relation, str]:

@@ -18,7 +18,13 @@ surface:
   path serves from, format 3 adds per-block dense/sparse hybrid storage
   (:mod:`repro.olap.hybrid`) with recorded attribute-value reorders.
 * :mod:`repro.olap.cache` — byte-budgeted, admission-controlled result
-  caching in front of an engine.
+  caching in front of an engine, keyed by (store generation, query) so
+  a refresh can never serve a stale hit.
+* :mod:`repro.olap.refresh` — incremental maintenance: fold an
+  insert-only delta into a stored cube as a new immutable generation
+  (:func:`refresh_store`) instead of rebuilding from scratch, with a
+  non-blocking atomic ``CURRENT`` swap live readers pick up between
+  queries.
 * :mod:`repro.olap.service` — a supervised pool of store-backed worker
   processes over the pooled shared-memory data plane, with retries,
   deadlines, load shedding, and a poison-query circuit breaker.
@@ -42,6 +48,7 @@ from repro.olap.query import (
     QueryPlanner,
     ReorderedQueryEngine,
 )
+from repro.olap.refresh import RefreshReport, refresh_cube, refresh_store
 from repro.olap.service import QueryService
 from repro.olap.store import CubeStore, OpenCube
 from repro.olap.supervise import (
@@ -66,10 +73,13 @@ __all__ = [
     "QueryPlanner",
     "QueryService",
     "QueryTimeout",
+    "RefreshReport",
     "ReorderedQueryEngine",
     "ResultCache",
     "ServiceOverloaded",
     "ServicePolicy",
     "SortedView",
+    "refresh_cube",
+    "refresh_store",
     "select_views",
 ]

@@ -3,9 +3,14 @@
 A dashboard re-issues the same group-bys constantly; caching their
 results is the standard tier above any OLAP engine.  The cache keys on
 the :class:`~repro.olap.query.Query` itself (hashable since its filters
-normalise to an immutable mapping) and is safe because cubes are
-immutable once built — invalidation only happens when a new cube is
-swapped in (``attach``).
+normalise to an immutable mapping) *plus the store generation that
+answered it* — cubes are immutable once built, but an incremental
+refresh (:func:`~repro.olap.refresh.refresh_store`) publishes a new
+generation of the same logical cube, and a result computed against
+generation N must never satisfy a query against generation N+1.
+Keying by ``(generation, query)`` makes stale hits structurally
+impossible without any flush coordination; superseded generations'
+entries simply age out of the LRU.
 
 Eviction is *byte-budgeted*: every entry is charged its actual array
 payload and the cache evicts least-recently-used entries until it fits
@@ -172,6 +177,7 @@ class CachedQueryEngine:
         capacity: int = 128,
         byte_budget: int | None = None,
         admit_fraction: float = 0.25,
+        generation: int = 0,
     ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -181,17 +187,23 @@ class CachedQueryEngine:
             capacity=capacity,
             admit_fraction=admit_fraction,
         )
+        self._generation = int(generation)
         self._engine = QueryEngine(cube)
 
-    @staticmethod
-    def _cache_key(query: Query) -> Query:
-        # Query is hashable (filters normalise to an immutable mapping),
-        # so the query object is its own cache key.
-        return query
+    def _cache_key(self, query: Query) -> tuple[int, Query]:
+        # Query is hashable (filters normalise to an immutable mapping);
+        # pairing it with the attached cube's generation makes an entry
+        # cached against a superseded cube unreachable, never stale.
+        return (self._generation, query)
 
     @property
     def engine(self) -> QueryEngine:
         return self._engine
+
+    @property
+    def generation(self) -> int:
+        """The generation entries are currently keyed under."""
+        return self._generation
 
     @property
     def stats(self) -> CacheStats:
@@ -201,9 +213,21 @@ class CachedQueryEngine:
     def bytes_held(self) -> int:
         return self._cache.bytes_held
 
-    def attach(self, cube: CubeResult) -> None:
-        """Swap in a freshly built cube; drops every cached result."""
+    def attach(
+        self, cube: CubeResult, generation: int | None = None
+    ) -> None:
+        """Swap in a freshly built cube.
+
+        ``generation`` stamps the new cube's snapshot identity (e.g.
+        :attr:`~repro.olap.store.OpenCube.generation` for a reopened
+        store); omitted, the previous generation is bumped by one.
+        Either way old entries become unreachable immediately — the
+        cache is also cleared eagerly to release their bytes.
+        """
         self._engine = QueryEngine(cube)
+        self._generation = (
+            self._generation + 1 if generation is None else int(generation)
+        )
         self._cache.clear()
 
     def answer(self, query: Query) -> Relation:

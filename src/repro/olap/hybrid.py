@@ -27,10 +27,14 @@ from typing import Sequence
 import numpy as np
 
 from repro.olap.index import FenceIndex
-from repro.storage.dense import HybridLayout
+from repro.storage.dense import (
+    HybridLayout,
+    density_threshold,
+    scatter_dense_block,
+)
 from repro.storage.mmapio import MappedColumn
 
-__all__ = ["HybridView"]
+__all__ = ["HybridView", "merge_hybrid"]
 
 
 def _col_read(col, start: int, stop: int) -> np.ndarray:
@@ -297,3 +301,239 @@ class HybridView:
             np.concatenate(keys_parts).astype(np.int64, copy=False),
             np.concatenate(meas_parts).astype(np.float64, copy=False),
         )
+
+
+def merge_hybrid(
+    view: HybridView,
+    delta_keys: np.ndarray,
+    delta_measure: np.ndarray,
+    agg: str = "sum",
+    threshold: float | None = None,
+) -> tuple[HybridLayout, dict]:
+    """Fold a sorted-unique delta run into a hybrid view, incrementally.
+
+    Only blocks the delta touches are re-decided: each touched block's
+    old rows (dense cells or a sparse-residue window) are merged with
+    its delta rows and the block is re-classified against the density
+    threshold.  Inserts only ever *grow* occupancy, so an old dense
+    block stays dense and the only transitions are sparse->dense
+    promotions — which is why the result is provably identical to
+    :func:`~repro.storage.dense.build_hybrid` run from scratch on the
+    expanded merged columns (same per-block rows, same classification
+    formula, same :func:`scatter_dense_block` payloads).
+
+    Untouched payloads are reused by reference (zero-copy slices of the
+    view's mmap-backed columns), and the returned stats say whether the
+    dense payload / sparse residue changed at all — when they did not,
+    the store refresh hard-links the corresponding files instead of
+    rewriting them.
+
+    ``threshold`` must be the one the view was built with (the store
+    manifest records it); mixing thresholds would re-decide untouched
+    blocks differently from the stored layout.
+
+    Returns ``(layout, stats)`` with stats keys ``touched_blocks``,
+    ``promoted``, ``dense_changed``, ``sparse_changed``, ``rows_added``.
+    """
+    bc = view.block_cells
+    cap = view.capacity
+    thr = density_threshold() if threshold is None else float(threshold)
+    from repro.storage.scan import aggregate_sorted_keys, merge_sorted
+
+    delta_keys = np.ascontiguousarray(delta_keys, dtype=np.int64)
+    delta_measure = np.ascontiguousarray(delta_measure, dtype=np.float64)
+    if delta_keys.shape != delta_measure.shape or delta_keys.ndim != 1:
+        raise ValueError("delta keys/measure must be matching 1-d columns")
+    n_delta = int(delta_keys.shape[0])
+    if n_delta and (delta_keys[0] < 0 or delta_keys[-1] >= cap):
+        raise ValueError(
+            f"delta keys outside [0, {cap}): "
+            f"[{int(delta_keys[0])}, {int(delta_keys[-1])}]"
+        )
+
+    k_old = view.blocks.shape[0]
+    n_sparse = view.n_sparse_rows
+
+    def _whole(col, n):
+        if isinstance(col, MappedColumn):
+            return col.array
+        return np.asarray(col)[:n]
+
+    stats = {
+        "touched_blocks": 0,
+        "promoted": 0,
+        "dense_changed": False,
+        "sparse_changed": False,
+        "rows_added": 0,
+    }
+    if n_delta == 0:
+        layout = HybridLayout(
+            block_cells=bc,
+            capacity=cap,
+            nrows=view.nrows,
+            dense_blocks=view.blocks,
+            dense_rows=view.rows,
+            dense_full=view.full,
+            sparse_before=view.sparse_before,
+            dense_values=_whole(view._values, int(view._voff[-1]) if k_old else 0),
+            dense_mask=_whole(view._mask, int(view._moff[-1]) if k_old else 0),
+            sparse_keys=_whole(view._sparse_keys, n_sparse),
+            sparse_measure=_whole(view._sparse_measure, n_sparse),
+        )
+        return layout, stats
+
+    # Group delta rows by the grid block they land in.
+    dbids = delta_keys // bc
+    t_starts = np.flatnonzero(np.r_[True, dbids[1:] != dbids[:-1]])
+    t_ends = np.r_[t_starts[1:], n_delta]
+    touched = dbids[t_starts]
+    n_touch = int(touched.shape[0])
+    stats["touched_blocks"] = n_touch
+
+    # Old dense membership of each touched block.
+    if k_old:
+        pos = np.searchsorted(view.blocks, touched).astype(np.int64)
+        in_rng = pos < k_old
+        was_dense = np.zeros(n_touch, dtype=bool)
+        was_dense[in_rng] = view.blocks[pos[in_rng]] == touched[in_rng]
+    else:
+        pos = np.zeros(n_touch, dtype=np.int64)
+        was_dense = np.zeros(n_touch, dtype=bool)
+
+    merged: dict[int, tuple[np.ndarray, np.ndarray, bool]] = {}
+    windows: dict[int, tuple[int, int]] = {}  # touched-sparse residue spans
+    for t in range(n_touch):
+        bid = int(touched[t])
+        dk = delta_keys[int(t_starts[t]):int(t_ends[t])]
+        dv = delta_measure[int(t_starts[t]):int(t_ends[t])]
+        cells = int(min(bc, cap - bid * bc))
+        if was_dense[t]:
+            i = int(pos[t])
+            occ = view._occupied_cells(i)
+            ok = bid * bc + occ
+            voff = int(view._voff[i])
+            ov = _col_read(view._values, voff, voff + int(view.cells[i]))[occ]
+        else:
+            w0 = view._sparse_locate(bid * bc, "left")
+            w1 = view._sparse_locate(bid * bc + cells - 1, "right")
+            windows[t] = (w0, w1)
+            ok = _col_read(view._sparse_keys, w0, w1)
+            ov = _col_read(view._sparse_measure, w0, w1)
+        mk, mv = merge_sorted(ok, ov, dk, dv)
+        mk, mv = aggregate_sorted_keys(mk, mv, agg)
+        dense_new = mk.shape[0] >= thr * cells
+        if dense_new and not was_dense[t]:
+            stats["promoted"] += 1
+        merged[bid] = (mk, mv, bool(dense_new))
+
+    stats["dense_changed"] = bool(was_dense.any()) or stats["promoted"] > 0
+    stats["sparse_changed"] = bool((~was_dense).any())
+
+    # -- new sparse residue ------------------------------------------------
+    if stats["sparse_changed"]:
+        old_sk = _whole(view._sparse_keys, n_sparse)
+        old_sv = _whole(view._sparse_measure, n_sparse)
+        sk_parts: list[np.ndarray] = []
+        sv_parts: list[np.ndarray] = []
+        spos = 0
+        for t in range(n_touch):
+            if was_dense[t]:
+                continue
+            w0, w1 = windows[t]
+            if w0 > spos:
+                sk_parts.append(old_sk[spos:w0])
+                sv_parts.append(old_sv[spos:w0])
+            spos = w1
+            mk, mv, dense_new = merged[int(touched[t])]
+            if not dense_new:
+                sk_parts.append(mk)
+                sv_parts.append(mv)
+        if spos < n_sparse:
+            sk_parts.append(old_sk[spos:])
+            sv_parts.append(old_sv[spos:])
+        new_sk = (
+            np.concatenate(sk_parts)
+            if sk_parts else np.empty(0, dtype=np.int64)
+        ).astype(np.int64, copy=False)
+        new_sv = (
+            np.concatenate(sv_parts)
+            if sv_parts else np.empty(0, dtype=np.float64)
+        ).astype(np.float64, copy=False)
+    else:
+        new_sk = _whole(view._sparse_keys, n_sparse)
+        new_sv = _whole(view._sparse_measure, n_sparse)
+
+    # -- new dense payload -------------------------------------------------
+    if stats["dense_changed"]:
+        touched_dense = {
+            bid: (mk, mv)
+            for bid, (mk, mv, dense_new) in merged.items()
+            if dense_new
+        }
+        out_bids = sorted(
+            {int(b) for b in view.blocks} | set(touched_dense)
+        )
+        blocks_l: list[int] = []
+        rows_l: list[int] = []
+        full_l: list[bool] = []
+        values_parts: list[np.ndarray] = []
+        mask_parts: list[np.ndarray] = []
+        for bid in out_bids:
+            cells = int(min(bc, cap - bid * bc))
+            if bid in touched_dense:
+                mk, mv = touched_dense[bid]
+                vals, mask = scatter_dense_block(mk, mv, bid, bc, cells)
+                rows_l.append(int(mk.shape[0]))
+            else:
+                j = int(np.searchsorted(view.blocks, bid))
+                voff = int(view._voff[j])
+                vals = _col_read(view._values, voff, voff + cells)
+                if view.full[j]:
+                    mask = None
+                else:
+                    m0 = int(view._moff[j])
+                    mask = _col_read(view._mask, m0, int(view._moff[j + 1]))
+                rows_l.append(int(view.rows[j]))
+            blocks_l.append(bid)
+            full_l.append(mask is None)
+            values_parts.append(vals)
+            if mask is not None:
+                mask_parts.append(mask)
+        dense_blocks = np.asarray(blocks_l, dtype=np.int64)
+        dense_rows = np.asarray(rows_l, dtype=np.int64)
+        dense_full = np.asarray(full_l, dtype=bool)
+        dense_values = (
+            np.concatenate(values_parts)
+            if values_parts else np.empty(0, dtype=np.float64)
+        )
+        dense_mask = (
+            np.concatenate(mask_parts)
+            if mask_parts else np.empty(0, dtype=np.uint8)
+        )
+    else:
+        dense_blocks = view.blocks
+        dense_rows = view.rows
+        dense_full = view.full
+        dense_values = _whole(view._values, int(view._voff[-1]) if k_old else 0)
+        dense_mask = _whole(view._mask, int(view._moff[-1]) if k_old else 0)
+
+    sparse_before = np.searchsorted(
+        new_sk, dense_blocks * bc, side="left"
+    ).astype(np.int64)
+    nrows = int(new_sk.shape[0]) + int(dense_rows.sum())
+    stats["rows_added"] = nrows - view.nrows
+
+    layout = HybridLayout(
+        block_cells=bc,
+        capacity=cap,
+        nrows=nrows,
+        dense_blocks=dense_blocks,
+        dense_rows=dense_rows,
+        dense_full=dense_full,
+        sparse_before=sparse_before,
+        dense_values=dense_values,
+        dense_mask=dense_mask,
+        sparse_keys=new_sk,
+        sparse_measure=new_sv,
+    )
+    return layout, stats

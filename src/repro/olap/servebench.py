@@ -37,6 +37,7 @@ __all__ = [
     "latency_percentiles",
     "run_at_rate",
     "run_chaos",
+    "run_with_refresh",
     "serving_workload",
     "synthetic_serving_cube",
 ]
@@ -258,6 +259,211 @@ def run_at_rate(
         "achieved_qps": completed / span,
     }
     result.update(latency_percentiles(latencies))
+    return result
+
+
+def run_with_refresh(
+    service: QueryService,
+    queries: Sequence[Query],
+    delta_batches: Sequence,
+    offered_qps: float,
+    n_queries: int,
+    refresh_every: int,
+    probe: Query | None = None,
+    spec=None,
+    config=None,
+    drain_timeout_s: float = 120.0,
+    rotate_timeout_s: float = 30.0,
+) -> dict:
+    """Serve a workload while the store is refreshed *live* underneath.
+
+    Every ``refresh_every`` submissions the next batch from
+    ``delta_batches`` is folded into the store by
+    :func:`~repro.olap.refresh.refresh_store` **in a background
+    thread** — queries keep flowing while the new generation is built,
+    exactly the deployment the non-blocking snapshot swap exists for.
+    When a refresh publishes, the coordinator is told immediately
+    (:meth:`~repro.olap.service.QueryService.check_generation`) so its
+    cache keying bumps without waiting out the poll interval; workers
+    rotate on their own cadence.
+
+    Scoring: **availability** is the fraction of offered queries
+    answered within their deadline (shed, timed-out, and errored
+    submissions all count against it), with latency percentiles
+    reported both overall and restricted to queries whose lifetime
+    overlapped a refresh window — the p99-during-refresh number that
+    shows whether a swap ever blocks readers.
+
+    ``probe``, when given, is the staleness sentinel: it is answered
+    (and cached) *before* the first refresh, then re-answered after the
+    final refresh once every live worker has rotated, and compared
+    bit-for-bit against an inline engine opened fresh on the final
+    generation.  A stale cache hit or a worker stuck on an old
+    generation makes ``probe_fresh`` false.
+    """
+    import threading
+
+    from repro.olap.supervise import QueryTimeout, ServiceOverloaded
+
+    if refresh_every < 1:
+        raise ValueError(
+            f"refresh_every must be >= 1, got {refresh_every}"
+        )
+    interval = 1.0 / float(offered_qps)
+    tickets: dict[int, float] = {}
+    completions: list[tuple[float, float]] = []  # (scheduled, done)
+    errors = shed = deadline_timeouts = 0
+    windows: list[tuple[float, float]] = []
+    window_lock = threading.Lock()
+    reports: list = []
+    refresh_failures: list[str] = []
+    bump_pending = threading.Event()
+    generation_start = service.check_generation()
+
+    def _refresh(delta) -> None:
+        from repro.olap.refresh import refresh_store
+
+        start = time.monotonic()
+        try:
+            reports.append(
+                refresh_store(
+                    service.store_path, delta, spec=spec, config=config
+                )
+            )
+        except Exception as exc:  # noqa: BLE001 - scored, not fatal
+            refresh_failures.append(f"{type(exc).__name__}: {exc}")
+        finally:
+            with window_lock:
+                windows.append((start, time.monotonic()))
+            bump_pending.set()
+
+    def harvest() -> None:
+        nonlocal errors, deadline_timeouts
+        for ticket in service.poll():
+            sched = tickets.pop(ticket, None)
+            if sched is None:
+                continue
+            done = service.completed_at.get(ticket, time.monotonic())
+            try:
+                service.wait(ticket)
+            except QueryTimeout:
+                deadline_timeouts += 1
+                continue
+            except Exception:
+                errors += 1
+                continue
+            completions.append((sched, done))
+
+    probe_before = None
+    if probe is not None:
+        try:
+            probe_before = service.answer(probe)
+            service.answer(probe)  # second hit seeds/exercises the cache
+        except Exception:  # pragma: no cover - probe best-effort
+            probe_before = None
+
+    refresh_thread: threading.Thread | None = None
+    next_batch = 0
+    next_refresh_at = refresh_every
+    submitted = 0
+    t0 = time.monotonic()
+    while submitted < n_queries:
+        if bump_pending.is_set():
+            bump_pending.clear()
+            service.check_generation()
+        if (
+            submitted >= next_refresh_at
+            and next_batch < len(delta_batches)
+            and (refresh_thread is None or not refresh_thread.is_alive())
+        ):
+            refresh_thread = threading.Thread(
+                target=_refresh,
+                args=(delta_batches[next_batch],),
+                daemon=True,
+            )
+            refresh_thread.start()
+            next_batch += 1
+            next_refresh_at += refresh_every
+        sched = t0 + submitted * interval
+        now = time.monotonic()
+        if now < sched:
+            harvest()
+            time.sleep(min(sched - now, 0.002))
+            continue
+        query = queries[submitted % len(queries)]
+        try:
+            tickets[service.submit(query)] = sched
+        except ServiceOverloaded:
+            shed += 1
+        submitted += 1
+        harvest()
+    if refresh_thread is not None:
+        refresh_thread.join(drain_timeout_s)
+    if bump_pending.is_set():
+        bump_pending.clear()
+    drain_deadline = time.monotonic() + drain_timeout_s
+    while tickets and time.monotonic() < drain_deadline:
+        harvest()
+        time.sleep(0.001)
+
+    # Force the final generation pickup, then wait for every advertised
+    # worker slot to rotate up before judging freshness.
+    generation_end = service.check_generation()
+    rotate_deadline = time.monotonic() + rotate_timeout_s
+    while time.monotonic() < rotate_deadline:
+        gens = [
+            g
+            for g in service.stats()["worker_store_generations"]
+            if g >= 0
+        ]
+        if gens and min(gens) >= generation_end:
+            break
+        service.poll()
+        time.sleep(0.01)
+    probe_fresh = None
+    if probe is not None and probe_before is not None:
+        from repro.olap.store import CubeStore
+
+        want = (
+            CubeStore.open(service.store_path)
+            .query_engine(index=service.index)
+            .answer(probe)
+        )
+        try:
+            got = service.answer(probe)
+            probe_fresh = bool(
+                np.array_equal(want.dims, got.dims)
+                and np.array_equal(want.measure, got.measure)
+            )
+        except Exception:  # pragma: no cover - probe best-effort
+            probe_fresh = False
+
+    overall = [done - sched for sched, done in completions]
+    in_window = [
+        done - sched
+        for sched, done in completions
+        if any(sched <= e and s <= done for s, e in windows)
+    ]
+    result = {
+        "offered": submitted,
+        "completed": len(completions),
+        "errors": errors,
+        "shed": shed,
+        "deadline_timeouts": deadline_timeouts,
+        "undrained": len(tickets),
+        "availability": len(completions) / max(submitted, 1),
+        "refreshes": len(reports),
+        "refresh_failures": refresh_failures,
+        "refresh_seconds": [round(e - s, 4) for s, e in windows],
+        "rows_refreshed": int(sum(r.delta_rows for r in reports)),
+        "generation_start": generation_start,
+        "generation_end": generation_end,
+        "probe_fresh": probe_fresh,
+    }
+    result.update(latency_percentiles(overall))
+    window_stats = {"completed": len(in_window)}
+    window_stats.update(latency_percentiles(in_window))
+    result["refresh_window"] = window_stats
     return result
 
 

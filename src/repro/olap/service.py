@@ -41,6 +41,20 @@ coordinator decodes a result it acks the segment names back to the
 owning worker, which returns them to its arena pool — steady-state
 serving creates no new segments.
 
+The service is **refresh-aware**: the store directory may gain new
+generations while queries are flowing
+(:func:`~repro.olap.refresh.refresh_store`).  Each worker pins the
+generation it has open for the duration of every query, re-reads the
+store's ``CURRENT`` pointer between queries (every
+``policy.current_poll_interval``), and swaps to the new generation by
+simply reopening the store — no restart, no coordination, and no
+reader ever blocks on a refresh because the old generation's files
+stay mapped until the swap.  Result-cache entries are keyed by
+``(store generation, query)`` so a result computed against generation
+N can never satisfy a query once the coordinator has observed N+1.
+Superseded generation directories are garbage-collected once no live
+worker still has them pinned (``policy.gc_generations``).
+
 The API is deliberately queue-shaped for closed-loop benchmarking
 (``benchmarks/bench_serving.py``, ``benchmarks/bench_serving_chaos.py``):
 ``submit`` enqueues and returns a ticket, ``wait`` collects, ``answer``
@@ -158,6 +172,8 @@ def _worker_main(
     heartbeats,
     heartbeat_interval: float,
     serve_faults: ServeFaultPlan | None,
+    store_gens=None,
+    current_poll_interval: float = 0.25,
 ) -> None:
     """One serving worker: open the store, answer until the sentinel.
 
@@ -166,6 +182,15 @@ def _worker_main(
     which is the straggler signal the supervisor watches for.  Tasks
     whose deadline already passed are shed without execution (the soft,
     between-tasks half of deadline enforcement).
+
+    Every query is answered entirely by the store generation the worker
+    had open when it dequeued the task; *between* tasks the worker
+    re-reads ``CURRENT`` (time-gated by ``current_poll_interval``) and
+    reopens the store when a refresh published a new generation,
+    advertising the pinned generation through the shared ``store_gens``
+    slot so the coordinator's GC never deletes a directory a live
+    worker still serves from.  (POSIX keeps unlinked-but-mapped files
+    readable, so even a racing GC cannot break an open generation.)
     """
     from repro.olap.store import CubeStore
 
@@ -174,6 +199,29 @@ def _worker_main(
     # the engine transparently (workers keep mmap-only access either
     # way — dense chunks and sparse columns alike open read-only).
     engine = handle.query_engine(index=index)
+    store_gen = handle.generation
+    if store_gens is not None:
+        store_gens[worker_id] = store_gen
+    gen_poll_at = time.monotonic() + current_poll_interval
+
+    def _maybe_rotate() -> None:
+        """Pick up a refreshed generation between tasks (never during)."""
+        nonlocal handle, engine, store_gen, gen_poll_at
+        now = time.monotonic()
+        if now < gen_poll_at:
+            return
+        gen_poll_at = now + current_poll_interval
+        try:
+            if CubeStore.current_generation(store_path) == store_gen:
+                return
+            fresh = CubeStore.open(store_path)
+            fresh_engine = fresh.query_engine(index=index)
+        except (OSError, ValueError, KeyError):
+            return  # mid-swap or torn state; retry next poll
+        handle, engine, store_gen = fresh, fresh_engine, fresh.generation
+        if store_gens is not None:
+            store_gens[worker_id] = store_gen
+
     arena = SegmentArena(pooled=True)
     faults = (
         serve_faults.schedule(worker_id, generation)
@@ -185,6 +233,7 @@ def _worker_main(
     try:
         while True:
             heartbeats[worker_id] = time.monotonic()
+            _maybe_rotate()
             try:
                 task = task_q.get(timeout=poll_s)
             except queue_mod.Empty:
@@ -202,6 +251,7 @@ def _worker_main(
                         generation,
                         seq,
                         attempt,
+                        store_gen,
                         None,
                         0,
                         (
@@ -227,7 +277,16 @@ def _worker_main(
                 if faults is not None and query_index in faults.corrupt_at:
                     blob = _flip_result_blob(blob)
                 result_q.put(
-                    (worker_id, generation, seq, attempt, blob, crc, None)
+                    (
+                        worker_id,
+                        generation,
+                        seq,
+                        attempt,
+                        store_gen,
+                        blob,
+                        crc,
+                        None,
+                    )
                 )
             except Exception as exc:  # noqa: BLE001 - relayed to caller
                 result_q.put(
@@ -236,6 +295,7 @@ def _worker_main(
                         generation,
                         seq,
                         attempt,
+                        store_gen,
                         None,
                         0,
                         (type(exc).__name__, str(exc)),
@@ -264,6 +324,9 @@ class _Flight:
     assigned: WorkerHandle | None = None
     submitted_at: float = 0.0
     deadline: float | None = None
+    #: The ``(store generation, query)`` key its waiters registered
+    #: under (the generation the coordinator saw at submit time).
+    wkey: tuple[int, Query] | None = None
     #: Waiters already failed with QueryTimeout; the flight lingers only
     #: so a late result / worker death can be reconciled cleanly.
     zombie: bool = False
@@ -318,11 +381,20 @@ class QueryService:
         # module, imported lazily like the workers do.)
         from repro.olap.store import CubeStore
 
-        CubeStore._read_manifest(store_path)
+        CubeStore._read_manifest(CubeStore.resolve(store_path)[0])
         self.store_path = store_path
         self.workers = int(workers)
         self.index = bool(index)
         self.policy = policy if policy is not None else ServicePolicy()
+        #: The store generation the coordinator currently believes is
+        #: CURRENT; cache lookups key on it, so one observed bump makes
+        #: every older entry unreachable.
+        self._store_gen = CubeStore.current_generation(store_path)
+        self._gen_poll_at = (
+            time.monotonic() + self.policy.current_poll_interval
+        )
+        self.generation_bumps = 0
+        self.generations_removed = 0
         self.serve_faults = serve_faults
         self._cache = (
             ResultCache(byte_budget, admit_fraction=admit_fraction)
@@ -331,9 +403,18 @@ class QueryService:
         )
         ctx = mp.get_context(start_method)
         self._result_q = ctx.Queue()
+        # One slot per worker advertising the generation it has pinned
+        # (-1 until the worker opens the store); GC consults this so no
+        # directory a live worker serves from is ever removed.
+        self._store_gens = ctx.Array("l", self.workers, lock=False)
+        for i in range(self.workers):
+            self._store_gens[i] = -1
         self._seq = 0
         self._flights: dict[int, _Flight] = {}
-        self._waiters: dict[Query, list[int]] = {}  # query -> tickets
+        #: (store generation, query) -> tickets; the generation in the
+        #: key keeps a waiter joined before a refresh from being fed a
+        #: result computed against a different snapshot than it joined.
+        self._waiters: dict[tuple[int, Query], list[int]] = {}
         self._results: dict[int, Relation | Exception] = {}
         self._dispatchq: deque[int] = deque()
         self._retry_heap: list[tuple[float, int]] = []
@@ -366,6 +447,8 @@ class QueryService:
                     heartbeats,
                     self.policy.heartbeat_interval,
                     serve_faults,
+                    self._store_gens,
+                    self.policy.current_poll_interval,
                 ),
                 daemon=True,
             )
@@ -396,6 +479,7 @@ class QueryService:
         """
         if self._closed:
             raise RuntimeError("QueryService is closed")
+        self._poll_generation(time.monotonic())
         if query in self._quarantined:
             self._seq += 1
             ticket = self._seq
@@ -406,8 +490,9 @@ class QueryService:
             )
             self.completed_at[ticket] = time.monotonic()
             return ticket
+        wkey = (self._store_gen, query)
         if self._cache is not None:
-            cached = self._cache.get(query)
+            cached = self._cache.get(wkey)
             if cached is not None:
                 self._seq += 1
                 ticket = self._seq
@@ -415,7 +500,7 @@ class QueryService:
                 self._results[ticket] = cached
                 self.completed_at[ticket] = time.monotonic()
                 return ticket
-        waiters = self._waiters.get(query)
+        waiters = self._waiters.get(wkey)
         if waiters is not None:
             self._seq += 1
             ticket = self._seq
@@ -440,8 +525,9 @@ class QueryService:
             query=query,
             submitted_at=now,
             deadline=None if deadline_s is None else now + deadline_s,
+            wkey=wkey,
         )
-        self._waiters[query] = [ticket]
+        self._waiters[wkey] = [ticket]
         self._flights[ticket] = flight
         self._dispatchq.append(ticket)
         self._dispatch()
@@ -455,6 +541,7 @@ class QueryService:
         backed-off retries, and dispatch ready work."""
         self._drain_results(budget)
         now = time.monotonic()
+        self._poll_generation(now)
         self._supervise(now)
         self._enforce_deadlines(now)
         self._release_retries(now)
@@ -480,7 +567,7 @@ class QueryService:
             self._on_result(msg)
 
     def _on_result(self, msg) -> None:
-        slot, generation, seq, attempt, blob, crc, err = msg
+        slot, generation, seq, attempt, store_gen, blob, crc, err = msg
         handle = self._sup.slots[slot]
         current = (
             handle is not None and handle.generation == generation
@@ -555,8 +642,12 @@ class QueryService:
             return
         self.executed += 1
         if self._cache is not None:
+            # Keyed by the generation that *computed* the result (the
+            # worker's pinned generation), not the submit-time one — a
+            # worker that rotated ahead of the coordinator must not
+            # poison the old generation's namespace, and vice versa.
             self._cache.put(
-                flight.query, outcome, result_nbytes(outcome)
+                (store_gen, flight.query), outcome, result_nbytes(outcome)
             )
         self._resolve(flight, outcome)
 
@@ -571,7 +662,7 @@ class QueryService:
         """Fulfil every waiter of a flight and forget it."""
         self._flights.pop(flight.seq, None)
         done = time.monotonic()
-        for ticket in self._waiters.pop(flight.query, []):
+        for ticket in self._waiters.pop(flight.wkey, []):
             self._results[ticket] = outcome
             self.completed_at[ticket] = done
 
@@ -696,7 +787,7 @@ class QueryService:
                 f"{flight.deadline - flight.submitted_at:.3f}s deadline "
                 f"(attempt {flight.attempt + 1})"
             )
-            for ticket in self._waiters.pop(flight.query, []):
+            for ticket in self._waiters.pop(flight.wkey, []):
                 self._results[ticket] = exc
                 self.completed_at[ticket] = done
             if flight.assigned is None:
@@ -705,6 +796,65 @@ class QueryService:
                 self._flights.pop(seq, None)
             else:
                 flight.zombie = True
+
+    # -- refresh awareness -------------------------------------------------
+
+    def _poll_generation(self, now: float) -> None:
+        """Time-gated CURRENT re-read (every
+        ``policy.current_poll_interval``)."""
+        if now < self._gen_poll_at:
+            return
+        self._gen_poll_at = now + self.policy.current_poll_interval
+        self.check_generation()
+
+    def check_generation(self) -> int:
+        """Re-read the store's ``CURRENT`` pointer immediately.
+
+        Bumps the coordinator's cache-keying generation when a refresh
+        published a new one (making every older cache entry
+        unreachable), then garbage-collects superseded generation
+        directories no live worker still has pinned.  Returns the
+        generation now in effect.  Called automatically from the event
+        loop; exposed so a refresher can force the pickup without
+        waiting out the poll interval.
+        """
+        from repro.olap.store import CubeStore
+
+        try:
+            gen = CubeStore.current_generation(self.store_path)
+        except (OSError, ValueError):
+            return self._store_gen  # torn mid-swap; retry next poll
+        if gen != self._store_gen:
+            self._store_gen = gen
+            self.generation_bumps += 1
+        self._maybe_gc()
+        return self._store_gen
+
+    def _maybe_gc(self) -> None:
+        """Remove superseded generations once every live worker has
+        rotated up to (at least) the coordinator's generation."""
+        if (
+            not self.policy.gc_generations
+            or self._store_gen == 0
+            or self._sup is None
+        ):
+            return
+        pinned = [
+            int(self._store_gens[h.slot]) for h in self._sup.live()
+        ]
+        if not pinned or min(pinned) < self._store_gen:
+            # A worker still serves an older generation (or has not
+            # advertised yet, slot -1): deleting now would race it.
+            return
+        from repro.olap.store import CubeStore
+
+        try:
+            removed = CubeStore.gc_generations(
+                self.store_path, keep=pinned
+            )
+        except OSError:  # pragma: no cover - racing a refresh publish
+            return
+        self.generations_removed += len(removed)
 
     def _release_retries(self, now: float) -> None:
         while self._retry_heap and self._retry_heap[0][0] <= now:
@@ -813,6 +963,12 @@ class QueryService:
             "restarts": self._sup.restarts if self._sup else 0,
             "poisoned": self.poisoned,
             "corrupt_results": self.corrupt_results,
+            "store_generation": self._store_gen,
+            "worker_store_generations": [
+                int(g) for g in self._store_gens
+            ],
+            "generation_bumps": self.generation_bumps,
+            "generations_removed": self.generations_removed,
         }
         if self._cache is not None:
             out["cache"] = self._cache.snapshot()

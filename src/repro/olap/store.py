@@ -48,12 +48,33 @@ exact distributed cube.  A store saved with an attribute-value reorder
 (:mod:`repro.storage.reorder`) records the permutations under the
 manifest's ``reorder`` key — any format — and ``query_engine()``
 transparently translates queries back to original attribute values.
+
+**Generations** (incremental refresh).  A store directory may hold a
+*sequence* of immutable snapshots instead of one flat layout::
+
+    <path>/CURRENT                 name of the live generation, e.g.
+                                   ``gen-000002`` (atomically swapped)
+    <path>/gen-000001/manifest.json + views/ ...
+    <path>/gen-000002/...
+
+Each generation is a complete, self-contained format-1/2/3 store;
+:func:`~repro.olap.refresh.refresh_store` creates the next one by
+merging a delta into its predecessor, hard-linking every untouched
+view file so a generation costs only the bytes its delta touched.  A
+flat store (no ``CURRENT``) is implicitly generation 0 and is never
+garbage-collected — the first refresh leaves it in place as the seed
+snapshot and writes ``gen-000001`` next to it.  ``CURRENT`` is swapped
+with ``os.replace`` (write temp + rename), so a reader either sees the
+old pointer or the new one, never a torn state; readers that already
+hold a generation open keep serving it (their mmaps pin the inodes)
+even after :meth:`CubeStore.gc_generations` unlinks the directory.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
 from typing import Sequence
 
 import numpy as np
@@ -72,6 +93,12 @@ from repro.storage.sortkernels import is_sorted_int64
 __all__ = ["CubeStore", "OpenCube"]
 
 _MANIFEST = "manifest.json"
+_CURRENT = "CURRENT"
+_GEN_PREFIX = "gen-"
+
+
+def _gen_name(generation: int) -> str:
+    return f"{_GEN_PREFIX}{generation:06d}"
 
 
 def _view_file(view: View) -> str:
@@ -349,24 +376,147 @@ class CubeStore:
         return manifest
 
     @staticmethod
-    def load(path: str) -> CubeResult:
+    def load(path: str, generation: int | None = None) -> CubeResult:
         """Reopen a saved cube as a :class:`CubeResult`.
 
         Format-2 pieces are zero-copy slices of the memory-mapped view
         columns — the distributed layout (per-rank rows and orders) is
         exactly what was saved, for either format.
         """
-        return CubeStore.open(path).cube
+        return CubeStore.open(path, generation=generation).cube
 
     @staticmethod
-    def open(path: str) -> "OpenCube":
-        """Open a store for serving: mmap-backed cube + sorted views."""
-        manifest = CubeStore._read_manifest(path)
-        return OpenCube(path, manifest)
+    def open(path: str, generation: int | None = None) -> "OpenCube":
+        """Open a store for serving: mmap-backed cube + sorted views.
+
+        ``path`` may be a flat store or a generational root; by default
+        the live generation (``CURRENT``, else the flat layout) is
+        opened.  Pass ``generation`` to pin a specific snapshot.
+        """
+        gen_dir, gen = CubeStore.resolve(path, generation)
+        manifest = CubeStore._read_manifest(gen_dir)
+        cube = OpenCube(gen_dir, manifest)
+        cube.root = path
+        cube.generation = gen
+        return cube
 
     @staticmethod
     def exists(path: str) -> bool:
-        return os.path.exists(os.path.join(path, _MANIFEST))
+        if os.path.exists(os.path.join(path, _MANIFEST)):
+            return True
+        try:
+            gen_dir, _ = CubeStore.resolve(path)
+        except FileNotFoundError:
+            return False
+        return os.path.exists(os.path.join(gen_dir, _MANIFEST))
+
+    # -- generations -------------------------------------------------------
+
+    @staticmethod
+    def resolve(path: str, generation: int | None = None) -> tuple[str, int]:
+        """Map a store root to the directory holding one generation.
+
+        Returns ``(manifest_dir, generation)``.  Generation 0 is the
+        flat root itself; generation N >= 1 lives in ``gen-NNNNNN``.
+        With ``generation=None`` the live generation is chosen: the one
+        named by ``CURRENT`` when the pointer file exists, else the
+        flat layout (generation 0).
+        """
+        if generation is None:
+            generation = CubeStore.current_generation(path)
+        generation = int(generation)
+        if generation < 0:
+            raise ValueError(f"generation must be >= 0, got {generation}")
+        gen_dir = (
+            path if generation == 0 else os.path.join(path, _gen_name(generation))
+        )
+        return gen_dir, generation
+
+    @staticmethod
+    def current_generation(path: str) -> int:
+        """The live generation of a store root (0 for a flat store)."""
+        current = os.path.join(path, _CURRENT)
+        try:
+            with open(current) as fh:
+                name = fh.read().strip()
+        except FileNotFoundError:
+            return 0
+        if not name.startswith(_GEN_PREFIX):
+            raise ValueError(f"malformed CURRENT pointer at {current}: {name!r}")
+        return int(name[len(_GEN_PREFIX):])
+
+    @staticmethod
+    def set_current(path: str, generation: int) -> None:
+        """Atomically point ``CURRENT`` at ``generation``.
+
+        Written to a temp file, fsynced, then ``os.replace``d — a
+        concurrent reader sees either the old pointer or the new one,
+        never a torn write.
+        """
+        generation = int(generation)
+        if generation < 1:
+            raise ValueError(
+                f"CURRENT can only name generation >= 1, got {generation}"
+            )
+        target = os.path.join(path, _CURRENT)
+        tmp = target + f".tmp-{os.getpid()}"
+        with open(tmp, "w") as fh:
+            fh.write(_gen_name(generation) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, target)
+
+    @staticmethod
+    def generations(path: str) -> list[int]:
+        """All generations present under a store root, ascending.
+
+        Includes 0 when the flat layout exists and every complete
+        ``gen-NNNNNN`` directory (one with a manifest inside).
+        """
+        gens = []
+        if os.path.exists(os.path.join(path, _MANIFEST)):
+            gens.append(0)
+        try:
+            names = os.listdir(path)
+        except FileNotFoundError:
+            return gens
+        for name in names:
+            if not name.startswith(_GEN_PREFIX):
+                continue
+            suffix = name[len(_GEN_PREFIX):]
+            if not suffix.isdigit():
+                continue  # temp dirs of an in-flight refresh
+            if os.path.exists(os.path.join(path, name, _MANIFEST)):
+                gens.append(int(suffix))
+        return sorted(gens)
+
+    @staticmethod
+    def gc_generations(
+        path: str, keep: Sequence[int] = ()
+    ) -> list[int]:
+        """Delete superseded generation directories under ``path``.
+
+        Removes every generation strictly below the current one except
+        generation 0 (the flat seed layout is never touched) and any
+        listed in ``keep`` (e.g. generations a reader still has pinned).
+        Never removes generations >= current — a concurrent refresh may
+        have created its directory but not yet swapped ``CURRENT``.
+        Readers that already mmap'd a removed generation keep working:
+        POSIX keeps the inodes alive until their maps close.
+
+        Returns the generations removed, ascending.
+        """
+        current = CubeStore.current_generation(path)
+        protected = {0, current, *(int(g) for g in keep)}
+        removed = []
+        for gen in CubeStore.generations(path):
+            if gen >= current or gen in protected:
+                continue
+            shutil.rmtree(
+                os.path.join(path, _gen_name(gen)), ignore_errors=True
+            )
+            removed.append(gen)
+        return removed
 
 
 class OpenCube:
@@ -389,6 +539,10 @@ class OpenCube:
 
     def __init__(self, path: str, manifest: dict):
         self.path = path
+        #: Store root and pinned snapshot (set by :meth:`CubeStore.open`;
+        #: a directly-constructed handle is its own root at generation 0).
+        self.root = path
+        self.generation = 0
         self.manifest = manifest
         self.format = int(manifest["format"])
         self.cardinalities = tuple(

@@ -125,6 +125,17 @@ class ServicePolicy:
     max_restarts:
         Total replacement workers the supervisor may spawn over the
         service lifetime.
+    current_poll_interval:
+        How often workers (between queries) and the coordinator
+        (between supervision slices) re-read the store's ``CURRENT``
+        pointer to pick up a freshly refreshed generation.  Workers
+        never switch mid-query — each query is answered entirely by the
+        generation its worker had open when it dequeued the task.
+    gc_generations:
+        When True the coordinator deletes superseded generation
+        directories once no live worker still has them open (pinned
+        generations are never removed; the flat generation-0 layout is
+        never removed either).
     """
 
     heartbeat_interval: float = 0.05
@@ -136,10 +147,14 @@ class ServicePolicy:
     max_queue_depth: int = 1024
     poison_threshold: int = 3
     max_restarts: int = 16
+    current_poll_interval: float = 0.25
+    gc_generations: bool = True
 
     def __post_init__(self) -> None:
         if self.heartbeat_interval <= 0:
             raise ValueError("heartbeat_interval must be > 0")
+        if self.current_poll_interval <= 0:
+            raise ValueError("current_poll_interval must be > 0")
         if self.suspect_after <= self.heartbeat_interval:
             raise ValueError(
                 "suspect_after must exceed heartbeat_interval"

@@ -49,6 +49,7 @@ __all__ = [
     "HybridLayout",
     "build_hybrid",
     "expand_hybrid",
+    "scatter_dense_block",
 ]
 
 #: Keys spanned by one block of the uniform grid.  1 KiB of cells keeps
@@ -120,6 +121,31 @@ class HybridLayout:
             + self.sparse_keys.nbytes
             + self.sparse_measure.nbytes
         )
+
+
+def scatter_dense_block(
+    keys: np.ndarray,
+    measure: np.ndarray,
+    block_id: int,
+    block_cells: int,
+    cells: int,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Scatter one block's sorted rows into a dense cell array.
+
+    Returns ``(values, packed_mask)``; the mask is ``None`` when every
+    cell is occupied (the full-block encoding omits it).  Shared by
+    :func:`build_hybrid` and the incremental merge
+    (:func:`repro.olap.hybrid.merge_hybrid`) so both produce
+    bit-identical payloads for the same rows.
+    """
+    local = (keys - block_id * block_cells).astype(np.intp)
+    vals = np.zeros(cells, dtype=np.float64)
+    vals[local] = measure
+    if keys.shape[0] == cells:
+        return vals, None
+    occ = np.zeros(cells, dtype=bool)
+    occ[local] = True
+    return vals, np.packbits(occ)
 
 
 def build_hybrid(
@@ -201,14 +227,12 @@ def build_hybrid(
     for i, run in enumerate(d_idx):
         s, e = int(starts[run]), int(ends[run])
         cells = int(dense_cells[i])
-        local = (keys[s:e] - dense_blocks[i] * bc).astype(np.intp)
-        vals = np.zeros(cells, dtype=np.float64)
-        vals[local] = measure[s:e]
+        vals, mask = scatter_dense_block(
+            keys[s:e], measure[s:e], int(dense_blocks[i]), bc, cells
+        )
         values_parts.append(vals)
-        if not dense_full[i]:
-            occ = np.zeros(cells, dtype=bool)
-            occ[local] = True
-            mask_parts.append(np.packbits(occ))
+        if mask is not None:
+            mask_parts.append(mask)
     dense_values = (
         np.concatenate(values_parts)
         if values_parts else np.empty(0, dtype=np.float64)

@@ -117,3 +117,39 @@ class TestRefresh:
         want = reference_cube(rel, cards)
         for view, rel_want in want.items():
             assert refreshed.view_relation(view).same_content(rel_want)
+
+
+class TestRefreshContracts:
+    def test_empty_delta_fast_path_skips_the_engine(self):
+        # An empty delta must not run the force_nonprefix sweep (or any
+        # superstep at all): zero communication, zero simulated time.
+        rel = make_relation(1500, CARDS, seed=49)
+        cube = build_data_cube(rel, CARDS, MachineSpec(p=3))
+        refreshed = refresh_cube(cube, Relation.empty(len(CARDS)))
+        assert refreshed.metrics.comm_bytes == 0
+        assert refreshed.metrics.simulated_seconds == 0.0
+        assert refreshed.metrics.output_rows == cube.total_rows()
+        for view in cube.views:
+            assert refreshed.view_relation(view).same_content(
+                cube.view_relation(view)
+            )
+
+    def test_require_insert_maintainable(self):
+        from repro.core.aggregate import (
+            INSERT_MAINTAINABLE_AGGS,
+            require_insert_maintainable,
+        )
+
+        for agg in INSERT_MAINTAINABLE_AGGS:
+            assert require_insert_maintainable(agg) == agg
+        with pytest.raises(ValueError, match="insert-maintainable"):
+            require_insert_maintainable("avg")
+        with pytest.raises(ValueError, match="median"):
+            require_insert_maintainable("median")
+
+    def test_refresh_cube_guards_the_aggregate(self):
+        rel = make_relation(400, CARDS, seed=51)
+        cube = build_data_cube(rel, CARDS, MachineSpec(p=2))
+        object.__setattr__(cube, "agg", "avg")
+        with pytest.raises(ValueError):
+            refresh_cube(cube, rel.slice(0, 10))
