@@ -81,13 +81,15 @@ def cmd_build(args: argparse.Namespace) -> int:
             faults = FaultPlan.parse(args.faults)
         print(f"fault plan: {faults.describe()}")
     recovery = None
-    if faults is not None or args.max_retries is not None or args.degrade:
+    if (faults is not None or args.max_retries is not None or args.degrade
+            or args.speculate):
         from repro import RecoveryPolicy
 
         recovery = RecoveryPolicy(
             max_retries=2 if args.max_retries is None else args.max_retries,
             mode="degrade" if args.degrade else "restart",
             min_ranks=args.min_ranks,
+            speculate=args.speculate,
         )
     reorder = None
     if args.reorder:
@@ -108,7 +110,7 @@ def cmd_build(args: argparse.Namespace) -> int:
         data,
         cards,
         machine,
-        CubeConfig(agg=args.agg),
+        CubeConfig(agg=args.agg, hetero=args.hetero),
         selected=None,
         faults=faults,
         checkpoint_dir=args.checkpoint_dir,
@@ -117,6 +119,17 @@ def cmd_build(args: argparse.Namespace) -> int:
     )
     print(cube.describe())
     metrics = cube.metrics
+    if metrics.speed_model is not None:
+        speeds = ", ".join(
+            f"{s:.2f}" for s in metrics.speed_model["speeds"]
+        )
+        print(f"rank speed model (mean 1.0): [{speeds}]")
+    if metrics.speculations:
+        print(
+            f"speculated: {metrics.speculations} straggler race(s), "
+            f"{metrics.speculation_discards} duplicate result(s) "
+            f"discarded"
+        )
     if metrics.attempts > 1:
         print(
             f"recovered: {metrics.attempts - 1} failed attempt(s) "
@@ -457,6 +470,16 @@ def main(argv: list[str] | None = None) -> int:
     p_build.add_argument("--heartbeat", type=float, default=0.25,
                          help="supervisor liveness-poll interval in "
                               "seconds (process backend)")
+    p_build.add_argument("--hetero", action="store_true",
+                         help="meter per-rank throughput during sampling "
+                              "and size each rank's h-relation share to "
+                              "its measured speed (clamped to "
+                              "[1/2p, 2/p])")
+    p_build.add_argument("--speculate", action="store_true",
+                         help="on a hung rank, race a full-width retry "
+                              "against a width-(p-1) clone of the "
+                              "straggler's checkpoints and keep the "
+                              "first finisher")
     p_build.add_argument("--audit", action="store_true",
                          help="run the post-build integrity audit; a "
                               "failed audit exits non-zero")

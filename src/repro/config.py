@@ -118,6 +118,10 @@ class MachineSpec:
     scan_sec_per_row: float = 2.0e-7
     #: Bytes per relation row, for cost conversions.
     bytes_per_row: int = BYTES_PER_ROW_DEFAULT
+    #: Seed for randomised runtime behaviour that must stay reproducible
+    #: across ranks and retries — currently the recovery backoff's full
+    #: jitter (see :meth:`RecoveryPolicy.backoff_for`).
+    seed: int = 0
     #: Supervision: how often (real seconds) the process backend's
     #: coordinator probes a silent worker's liveness while waiting for its
     #: next superstep message.  Protocol messages double as heartbeats, so
@@ -238,6 +242,21 @@ class CubeConfig:
     sort_prefix_discount: bool = True
     #: Aggregate function applied to the measure column.
     agg: str = "sum"
+    #: Heterogeneity-aware partitioning: meter per-rank throughput during
+    #: the sample-sort phase and size each rank's h-relation share
+    #: proportional to its measured speed (Cérin-style non-uniform
+    #: pivots) instead of uniform ``n/p``.  Content is unchanged — only
+    #: the distribution across ranks moves.
+    hetero: bool = False
+    #: Clamp on any rank's share of the data under ``hetero``: no rank
+    #: receives less than ``hetero_floor/p`` of the rows...
+    hetero_floor: float = 0.5
+    #: ...nor more than ``hetero_ceil/p``.
+    hetero_ceil: float = 2.0
+    #: EMA weight of each fresh throughput observation when updating the
+    #: speed model between cube iterations (1.0 = always trust the latest
+    #: probe, ignore the prior).
+    hetero_blend: float = 0.5
 
     def __post_init__(self) -> None:
         if not 0.0 < self.gamma_partition <= 1.0:
@@ -256,6 +275,15 @@ class CubeConfig:
             )
         if self.agg not in ("sum", "count", "min", "max"):
             raise ValueError(f"unsupported aggregate: {self.agg!r}")
+        if not 0.0 < self.hetero_floor <= 1.0 <= self.hetero_ceil:
+            raise ValueError(
+                "need 0 < hetero_floor <= 1 <= hetero_ceil, got "
+                f"floor={self.hetero_floor} ceil={self.hetero_ceil}"
+            )
+        if not 0.0 < self.hetero_blend <= 1.0:
+            raise ValueError(
+                f"hetero_blend must be in (0, 1], got {self.hetero_blend}"
+            )
 
 
 @dataclass(frozen=True)
@@ -298,6 +326,21 @@ class RecoveryPolicy:
     #: Smallest width degrade mode may shrink to; losing a rank that
     #: would drop below this floor re-raises the failure instead.
     min_ranks: int = 1
+    #: Speculative straggler re-execution: when a *transient* hang
+    #: (:class:`~repro.mpi.errors.RankHung`) names a culprit rank and
+    #: checkpoints are configured, race a full-width retry (the straggler
+    #: may have recovered) against a width-(p-1) continuation that clones
+    #: the straggler's checkpoint chain onto the survivors; the first
+    #: finisher (smaller simulated completion time) wins, the loser is
+    #: cancelled, and both attempts' costs are banked in the metrics.
+    speculate: bool = False
+    #: Add seeded *full jitter* to the exponential restart backoff —
+    #: each retry waits ``U(0, backoff_seconds * growth**(attempt-1))``
+    #: instead of the deterministic full value, so simultaneous transient
+    #: failures don't retry in lockstep.  Seeded (from
+    #: :attr:`MachineSpec.seed` via ``backoff_for``'s ``seed``), so runs
+    #: stay reproducible.
+    backoff_jitter: bool = False
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -316,12 +359,26 @@ class RecoveryPolicy:
         if self.min_ranks < 1:
             raise ValueError(f"min_ranks must be >= 1, got {self.min_ranks}")
 
-    def backoff_for(self, attempt: int) -> float:
+    def backoff_for(self, attempt: int, seed: int | None = None) -> float:
         """Simulated backoff charged before retry number ``attempt``
-        (exponential in the attempt index; attempt 1 pays the base)."""
+        (exponential in the attempt index; attempt 1 pays the base).
+
+        With :attr:`backoff_jitter` the full exponential value becomes
+        the *upper bound* of a seeded uniform draw (AWS-style full
+        jitter); ``(seed, attempt)`` keys the RNG, so every attempt's
+        draw is independent yet reproducible.
+        """
         if attempt < 1:
             return 0.0
-        return self.backoff_seconds * self.backoff_growth ** (attempt - 1)
+        base = self.backoff_seconds * self.backoff_growth ** (attempt - 1)
+        if not self.backoff_jitter or base <= 0.0:
+            return base
+        import numpy as np
+
+        rng = np.random.default_rng(
+            (0 if seed is None else int(seed), int(attempt))
+        )
+        return float(rng.uniform(0.0, base))
 
     def is_retryable(self, exc: BaseException) -> bool:
         # Imported lazily: repro.mpi.__init__ pulls in the engine, which
@@ -386,6 +443,18 @@ class RunResult:
     #: audit_cube`): ``{"ok": bool, "checks": {...}, "issues": [...]}``.
     #: ``None`` when the audit was not requested.
     audit: dict | None = None
+    #: The winning attempt's final per-rank speed model
+    #: (:meth:`repro.mpi.speed.RankSpeedModel.to_dict`); ``None`` unless
+    #: ``CubeConfig.hetero`` was on.
+    speed_model: dict | None = None
+    #: Speculative straggler races run (``RecoveryPolicy.speculate``).
+    speculations: int = 0
+    #: Races where the losing attempt also completed and its duplicate
+    #: result was discarded (exactly once per race).
+    speculation_discards: int = 0
+    #: Per-rank cumulative local-work seconds of the winning attempt —
+    #: the finish-time spread across ranks (empty for baselines).
+    rank_busy_seconds: list[float] = field(default_factory=list)
 
     def summary(self) -> str:
         """One-line human-readable summary."""
@@ -406,6 +475,11 @@ class RunResult:
             text += (
                 f" [degraded: lost rank(s) {lost}, "
                 f"finished at p={self.final_width}]"
+            )
+        if self.speculations:
+            text += (
+                f" [speculated {self.speculations} race(s), "
+                f"{self.speculation_discards} duplicate(s) discarded]"
             )
         if self.audit is not None:
             text += " [audit: OK]" if self.audit.get("ok") else " [audit: FAILED]"

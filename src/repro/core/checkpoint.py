@@ -52,6 +52,8 @@ import zlib
 from dataclasses import dataclass
 from typing import Any, Sequence
 
+import numpy as np
+
 from repro.mpi.errors import CheckpointError
 
 __all__ = ["RankCheckpoint", "ReshardPlan", "share_bounds"]
@@ -258,6 +260,11 @@ class ReshardPlan:
     source_root: str
     #: Checkpoint root of the new epoch (resharded chains land here).
     target_root: str
+    #: Optional per-new-rank share weights (length ``new_width``): the
+    #: surviving ranks' measured relative speeds, so a fast survivor
+    #: adopts a larger slice of the dead ranks' rows.  ``None`` keeps the
+    #: uniform 1/new_width split.
+    weights: tuple[float, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.new_width != self.old_width - len(self.dead):
@@ -271,6 +278,14 @@ class ReshardPlan:
             )
         if set(self.survivors) & set(self.dead):
             raise ValueError("a rank cannot be both survivor and dead")
+        if self.weights is not None:
+            if len(self.weights) != self.new_width:
+                raise ValueError(
+                    f"need {self.new_width} share weights, "
+                    f"got {len(self.weights)}"
+                )
+            if any(w <= 0 for w in self.weights):
+                raise ValueError("share weights must all be positive")
 
     @staticmethod
     def after_loss(
@@ -278,6 +293,7 @@ class ReshardPlan:
         dead: Sequence[int],
         source_root: str,
         target_root: str,
+        weights: Sequence[float] | None = None,
     ) -> "ReshardPlan":
         """Plan the reshard after losing ``dead`` ranks at ``width``."""
         dead_t = tuple(sorted(set(int(r) for r in dead)))
@@ -292,22 +308,48 @@ class ReshardPlan:
             survivors=survivors,
             source_root=source_root,
             target_root=target_root,
+            weights=tuple(float(w) for w in weights) if weights else None,
         )
 
 
-def share_bounds(nrows: int, parts: int, index: int) -> tuple[int, int]:
+def share_bounds(
+    nrows: int,
+    parts: int,
+    index: int,
+    weights: Sequence[float] | None = None,
+) -> tuple[int, int]:
     """Contiguous ``[lo, hi)`` bounds of share ``index`` of ``nrows`` rows
     split into ``parts`` near-equal pieces — the same arithmetic as
     :func:`repro.core.cube.split_even`, without materialising slices.
     Used to deal a dead rank's sorted rows out to the survivors while
-    preserving sortedness and key disjointness."""
+    preserving sortedness and key disjointness.
+
+    With ``weights`` (positive per-part speed weights) the cut points
+    move to the rounded cumulative weight fractions instead — shares stay
+    contiguous, disjoint and covering, but part ``index`` receives
+    ``~weights[index]/sum(weights)`` of the rows."""
     if parts < 1:
         raise ValueError(f"parts must be >= 1, got {parts}")
     if not 0 <= index < parts:
         raise ValueError(f"share index {index} outside 0..{parts - 1}")
-    base, rem = divmod(int(nrows), parts)
-    lo = index * base + min(index, rem)
-    hi = lo + base + (1 if index < rem else 0)
+    if weights is None:
+        base, rem = divmod(int(nrows), parts)
+        lo = index * base + min(index, rem)
+        hi = lo + base + (1 if index < rem else 0)
+        return lo, hi
+    w = np.asarray(weights, dtype=np.float64)
+    if w.size != parts:
+        raise ValueError(f"need {parts} weights, got {w.size}")
+    if (w <= 0).any():
+        raise ValueError("share weights must all be positive")
+    # Rounded cumulative cuts: monotone (cumsum of positives), last cut
+    # pinned to nrows, so shares partition [0, nrows) exactly.
+    cuts = np.floor(np.cumsum(w) / w.sum() * int(nrows) + 0.5).astype(
+        np.int64
+    )
+    cuts[-1] = int(nrows)
+    lo = 0 if index == 0 else int(cuts[index - 1])
+    hi = int(cuts[index])
     return lo, hi
 
 

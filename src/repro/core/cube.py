@@ -42,7 +42,8 @@ from repro.core.viewdata import ViewData, codec_for_order
 from repro.core.views import View, canonical_view, view_name
 from repro.mpi.comm import Comm
 from repro.mpi.engine import Cluster, ClusterResult
-from repro.mpi.errors import MPIError, classify_failure
+from repro.mpi.errors import MPIError, RankHung, classify_failure
+from repro.mpi.speed import HeteroState, RankSpeedModel
 from repro.storage.external_sort import external_sort
 from repro.storage.scan import aggregate_sorted_keys
 from repro.storage.table import Relation
@@ -151,6 +152,7 @@ def _rank_program(
     memory_budget: int,
     checkpoint_root: str | None = None,
     reshard: ReshardPlan | None = None,
+    speed_prior: Sequence[float] | None = None,
 ):
     raw = chunks[comm.rank]
     d = len(cards)
@@ -161,6 +163,25 @@ def _rank_program(
     selected_set = None if selected is None else set(selected)
     prev_root: ViewData | None = None
     prev_i: int | None = None
+
+    # Heterogeneity-aware partitioning: every iteration's sample sort
+    # doubles as a throughput probe and refreshes the shared speed model;
+    # a prior (from a previous attempt's metering) seeds the first
+    # iteration's targets before any fresh measurement exists.
+    hetero: HeteroState | None = None
+    if config.hetero and comm.size > 1:
+        prior = None
+        if speed_prior is not None:
+            prior = RankSpeedModel.from_rates(
+                speed_prior, config.hetero_floor, config.hetero_ceil
+            )
+        hetero = HeteroState(
+            comm.size,
+            floor=config.hetero_floor,
+            ceil=config.hetero_ceil,
+            blend=config.hetero_blend,
+            prior=prior,
+        )
 
     # ---- Checkpoint/recovery prologue --------------------------------
     # With checkpointing on, every rank inspects its own chain, then all
@@ -231,7 +252,7 @@ def _rank_program(
         comm.disk.work.charge_scan(keys.shape[0])
         keys, measure = aggregate_sorted_keys(keys, measure, agg)  # 1a
         outcome = adaptive_sample_sort(  # 1b
-            comm, keys, measure, config.gamma_partition
+            comm, keys, measure, config.gamma_partition, hetero=hetero
         )
         comm.disk.work.charge_scan(outcome.keys.shape[0])
         keys, measure = aggregate_sorted_keys(  # 1c
@@ -272,7 +293,8 @@ def _rank_program(
             if selected_set is None or v in selected_set
         }
         merged, report = merge_partitions(
-            comm, wanted, tree, config, memory_budget
+            comm, wanted, tree, config, memory_budget,
+            speed=None if hetero is None else hetero.model,
         )
         for v, data in merged.items():
             comm.disk.charge_store(data.nrows)  # final materialisation
@@ -305,7 +327,12 @@ def _rank_program(
             comm.disk.charge_store(saved)
             comm.disk.work.charge_scan(saved)
 
-    return out_views, reports, trees
+    speed_dict = (
+        hetero.model.to_dict()
+        if hetero is not None and hetero.model is not None
+        else None
+    )
+    return out_views, reports, trees, speed_dict
 
 
 # ---------------------------------------------------------------------------
@@ -368,12 +395,16 @@ def _reshard_iteration(
         comm.disk.charge_scan(dead_rows)
         comm.disk.work.charge_scan(dead_rows)
         for v, data in dead_payload["views"].items():
-            piece = _share_slice(data, comm.rank, plan.new_width)
+            piece = _share_slice(
+                data, comm.rank, plan.new_width, plan.weights
+            )
             if piece.nrows:
                 extra.setdefault(v, []).append(piece)
         dead_root = dead_payload.get("root")
         if dead_root is not None:
-            piece = _share_slice(dead_root, comm.rank, plan.new_width)
+            piece = _share_slice(
+                dead_root, comm.rank, plan.new_width, plan.weights
+            )
             if piece.nrows:
                 root_extra.append(piece)
     merged = {
@@ -401,9 +432,15 @@ def _reshard_iteration(
     comm.disk.work.charge_scan(saved)
 
 
-def _share_slice(data: ViewData, index: int, parts: int) -> ViewData:
-    """Contiguous share ``index`` of ``parts`` of one sorted piece."""
-    lo, hi = share_bounds(data.nrows, parts, index)
+def _share_slice(
+    data: ViewData,
+    index: int,
+    parts: int,
+    weights: Sequence[float] | None = None,
+) -> ViewData:
+    """Contiguous share ``index`` of ``parts`` of one sorted piece
+    (speed-weighted when the reshard plan carries survivor weights)."""
+    lo, hi = share_bounds(data.nrows, parts, index, weights)
     return ViewData(data.order, data.keys[lo:hi], data.measure[lo:hi])
 
 
@@ -548,6 +585,29 @@ def _estimate_sizes(
 # public entry points
 # ---------------------------------------------------------------------------
 
+# Attempt-index offset for the backup lane of a speculative race: fault
+# specs address attempts with ``a<attempt>``, so running the backup this
+# far away keeps deterministic plans aimed at the primary retry from
+# striking the speculated copy as well.
+_SPECULATION_LANE = 1000
+
+
+def _busy_rates(cluster) -> tuple[float, ...] | None:
+    """Per-rank speeds inferred from a failed attempt's busy seconds.
+
+    Uses the equal-work approximation speed ∝ 1/busy — coarse, but the
+    value is only ever a *prior* that the clamp bounds and the next
+    superstep's fresh measurement blends away.
+    """
+    busy = np.asarray(cluster.clock.rank_busy, dtype=np.float64)
+    pos = busy > 1e-9
+    if not pos.any():
+        return None
+    rates = np.empty_like(busy)
+    rates[pos] = 1.0 / busy[pos]
+    rates[~pos] = rates[pos].mean()
+    return tuple(float(x) for x in rates)
+
 
 def build_data_cube(
     relation: Relation,
@@ -673,75 +733,192 @@ def build_data_cube(
     ranks_lost: list[int] = []
     run_root = checkpoint_dir
     reshard: ReshardPlan | None = None
-    while True:
-        run_spec = spec if width == spec.p else spec.with_processors(width)
-        chunks = split_even(relation, width)
+    speed_prior: tuple[float, ...] | None = None
+    speculations = 0
+    speculation_discards = 0
+
+    def _attempt(att_width, att_index, att_root, att_reshard, att_prior):
+        """One SPMD execution; returns (cluster, result-or-None, exc)."""
+        run_spec = (
+            spec if att_width == spec.p else spec.with_processors(att_width)
+        )
+        chunks = split_even(relation, att_width)
         args = (chunks, cards, config, selected, estimate_method,
-                spec.memory_budget, run_root, reshard)
+                spec.memory_budget, att_root, att_reshard, att_prior)
         cluster = Cluster(
-            run_spec, disk_root=disk_root, faults=faults, attempt=attempt
+            run_spec, disk_root=disk_root, faults=faults, attempt=att_index
         )
         try:
-            result = cluster.run(_rank_program, args)
-            break
+            return cluster, cluster.run(_rank_program, args), None
         except (KeyboardInterrupt, SystemExit):
             # Operator interrupts are not rank failures: re-raise
             # immediately — never banked, never retried, and never
             # consulted against the recovery policy.
             raise
-        except BaseException as exc:
-            recovered_seconds += cluster.clock.sim_time
-            recovered_bytes += cluster.stats.total_bytes
-            recovered_blocks += sum(
-                d.stats.blocks_total for d in cluster.disks
-            )
-            attempt += 1
-            if recovery is None or not recovery.is_retryable(exc):
-                raise
-            if run_spec.backend == "process":
-                # A crashed attempt can leak shm segments (a SIGKILLed
-                # worker never reaches its plane teardown); reclaim them
-                # before the retry allocates its arena.
-                from repro.mpi import shm
+        except BaseException as e:
+            return cluster, None, e
 
-                shm.sweep_orphans()
-            kind, culprit = classify_failure(exc)
-            degrade = (
-                recovery.mode == "degrade"
-                and culprit is not None
-                and 0 <= culprit < width
-                and (
-                    kind == "permanent"
-                    or transient_streak >= recovery.max_retries
-                )
+    def _bank(cluster, seconds=None):
+        """Fold a failed/cancelled attempt's metering into the totals."""
+        nonlocal recovered_seconds, recovered_bytes, recovered_blocks
+        recovered_seconds += (
+            cluster.clock.sim_time if seconds is None else seconds
+        )
+        recovered_bytes += cluster.stats.total_bytes
+        recovered_blocks += sum(d.stats.blocks_total for d in cluster.disks)
+
+    while True:
+        cluster, result, exc = _attempt(
+            width, attempt, run_root, reshard, speed_prior
+        )
+        if exc is None:
+            break
+        _bank(cluster)
+        attempt += 1
+        if recovery is None or not recovery.is_retryable(exc):
+            raise exc
+        if spec.backend == "process":
+            # A crashed attempt can leak shm segments (a SIGKILLed
+            # worker never reaches its plane teardown); reclaim them
+            # before the retry allocates its arena.
+            from repro.mpi import shm
+
+            shm.sweep_orphans()
+        kind, culprit = classify_failure(exc)
+        # The failed attempt's per-rank busy seconds are a free speed
+        # observation (speed ∝ 1/busy under near-equal work): feed them
+        # back as the retry's prior, turning the failure signal into a
+        # load-balancing input.
+        observed = _busy_rates(cluster) if config.hetero else None
+        if observed is not None:
+            speed_prior = observed
+        degrade = (
+            recovery.mode == "degrade"
+            and culprit is not None
+            and 0 <= culprit < width
+            and (
+                kind == "permanent"
+                or transient_streak >= recovery.max_retries
             )
-            if degrade:
-                if width - 1 < max(recovery.min_ranks, 1):
-                    raise MPIError(
-                        f"cannot degrade below min_ranks="
-                        f"{recovery.min_ranks}: rank {culprit} lost at "
-                        f"width {width}"
-                    ) from exc
-                if run_root is not None:
-                    epoch += 1
-                    target = os.path.join(
-                        checkpoint_dir, f"epoch{epoch:02d}"
-                    )
-                    reshard = ReshardPlan.after_loss(
-                        width, [culprit], run_root, target
-                    )
-                    run_root = target
-                else:
-                    reshard = None
+        )
+        speculate = (
+            recovery.speculate
+            and not degrade
+            and isinstance(exc, RankHung)
+            and culprit is not None
+            and 0 <= culprit < width
+            and run_root is not None
+            and width - 1 >= max(recovery.min_ranks, 1)
+        )
+        if speculate:
+            # Speculative straggler re-execution: race a full-width retry
+            # (the straggler may have recovered) against a width-(p-1)
+            # continuation that clones the straggler's checkpoint chain
+            # onto the survivors.  Both candidates run to completion in
+            # the simulation; the smaller simulated finish time wins, and
+            # the loser is billed only up to the winner's finish — the
+            # moment it would have been cancelled.  Its traffic and disk
+            # transfers are banked in full (conservative: they were
+            # committed before the cancel).
+            speculations += 1
+            survivors = [r for r in range(width) if r != culprit]
+            spec_target = os.path.join(
+                checkpoint_dir, f"epoch{epoch + 1:02d}-spec{attempt:02d}"
+            )
+            spec_weights = None
+            backup_prior = None
+            if observed is not None:
+                backup = RankSpeedModel.from_rates(
+                    observed, config.hetero_floor, config.hetero_ceil
+                ).restrict(survivors)
+                spec_weights = backup.shares
+                backup_prior = backup.speeds
+            spec_plan = ReshardPlan.after_loss(
+                width, [culprit], run_root, spec_target,
+                weights=spec_weights,
+            )
+            p_cluster, p_result, _p_exc = _attempt(
+                width, attempt, run_root, reshard, speed_prior
+            )
+            # The backup runs in its own attempt lane so deterministic
+            # fault plans aimed at the primary retry never strike it.
+            b_cluster, b_result, _b_exc = _attempt(
+                width - 1, attempt + _SPECULATION_LANE, spec_target,
+                spec_plan, backup_prior,
+            )
+            attempt += 1  # the raced loser (the winner is _assemble's +1)
+            if p_result is None and b_result is None:
+                _bank(p_cluster)
+                _bank(b_cluster)
+                attempt += 1
+                raise _p_exc
+            p_sim = p_cluster.clock.sim_time
+            b_sim = b_cluster.clock.sim_time
+            # When both complete, keep the full-width result even if the
+            # narrower clone's modelled finish is earlier: a recovered
+            # rank stays in service for the rest of the run, so
+            # decommissioning it to save one superstep's slack would be
+            # a net loss.  The clone is the discarded duplicate.
+            primary_wins = p_result is not None
+            if p_result is not None and b_result is not None:
+                # The straggler recovered mid-race: exactly one of the
+                # two (bit-identical) results is kept, the duplicate
+                # discarded.
+                speculation_discards += 1
+            loser = b_cluster if primary_wins else p_cluster
+            winner_sim = p_sim if primary_wins else b_sim
+            _bank(loser, seconds=min(loser.clock.sim_time, winner_sim))
+            if primary_wins:
+                result = p_result
+            else:
+                result = b_result
                 ranks_lost.append(culprit)
                 width -= 1
-                transient_streak = 0  # fresh retry budget at the new width
+                epoch += 1
+                run_root = spec_target
+            recovered_seconds += recovery.backoff_for(
+                attempt, seed=spec.seed
+            )
+            break
+        if degrade:
+            if width - 1 < max(recovery.min_ranks, 1):
+                raise MPIError(
+                    f"cannot degrade below min_ranks="
+                    f"{recovery.min_ranks}: rank {culprit} lost at "
+                    f"width {width}"
+                ) from exc
+            survivors = [r for r in range(width) if r != culprit]
+            if run_root is not None:
+                epoch += 1
+                target = os.path.join(
+                    checkpoint_dir, f"epoch{epoch:02d}"
+                )
+                weights = None
+                if observed is not None:
+                    weights = RankSpeedModel.from_rates(
+                        observed, config.hetero_floor, config.hetero_ceil
+                    ).restrict(survivors).shares
+                reshard = ReshardPlan.after_loss(
+                    width, [culprit], run_root, target, weights=weights
+                )
+                run_root = target
             else:
-                transient_streak += 1
-                transient_total += 1
-                if transient_streak > recovery.max_retries:
-                    raise
-            recovered_seconds += recovery.backoff_for(attempt)
+                reshard = None
+            if observed is not None:
+                speed_prior = tuple(
+                    RankSpeedModel.from_rates(
+                        observed, config.hetero_floor, config.hetero_ceil
+                    ).restrict(survivors).speeds
+                )
+            ranks_lost.append(culprit)
+            width -= 1
+            transient_streak = 0  # fresh retry budget at the new width
+        else:
+            transient_streak += 1
+            transient_total += 1
+            if transient_streak > recovery.max_retries:
+                raise exc
+        recovered_seconds += recovery.backoff_for(attempt, seed=spec.seed)
     cube = _assemble(
         result,
         cards,
@@ -753,6 +930,8 @@ def build_data_cube(
         final_width=width,
         ranks_lost=ranks_lost,
         transient_retries=transient_total,
+        speculations=speculations,
+        speculation_discards=speculation_discards,
     )
     if audit:
         from repro.core.audit import audit_cube
@@ -787,10 +966,14 @@ def _assemble(
     final_width: int = 0,
     ranks_lost: list[int] | None = None,
     transient_retries: int = 0,
+    speculations: int = 0,
+    speculation_discards: int = 0,
 ) -> CubeResult:
     rank_views = [result[0] for result in cluster.rank_results]
-    reports = cluster.rank_results[0][1]
-    trees = cluster.rank_results[0][2]
+    first = cluster.rank_results[0]
+    reports = first[1]
+    trees = first[2]
+    speed_model = first[3] if len(first) > 3 else None
     output_rows = sum(
         data.nrows for rv in rank_views for data in rv.values()
     )
@@ -812,6 +995,10 @@ def _assemble(
         ranks_lost=list(ranks_lost or []),
         final_width=final_width or len(rank_views),
         transient_retries=transient_retries,
+        speed_model=speed_model,
+        speculations=speculations,
+        speculation_discards=speculation_discards,
+        rank_busy_seconds=list(cluster.clock.rank_busy),
     )
     return CubeResult(
         rank_views=rank_views,

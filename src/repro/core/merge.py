@@ -52,6 +52,7 @@ from repro.config import CubeConfig
 from repro.core.aggregate import combine_scalar
 from repro.core.pipesort import ScheduleTree
 from repro.core.sample_sort import batched_sample_sort, relative_imbalance
+from repro.mpi.speed import RankSpeedModel
 from repro.core.sampling import decimation_sample, estimate_range_count
 from repro.core.viewdata import ViewData
 from repro.core.views import View, is_prefix
@@ -81,6 +82,7 @@ def merge_partitions(
     config: CubeConfig,
     memory_budget: int,
     force_nonprefix: bool = False,
+    speed: "RankSpeedModel | None" = None,
 ) -> tuple[dict[View, ViewData], MergeReport]:
     """Merge every view's ``p`` local pieces (Procedure 3).
 
@@ -93,6 +95,14 @@ def merge_partitions(
     layouts; the case-1 fast path assumes pieces are globally sorted
     across ranks, which holds after phase 2 but not for e.g. the
     incremental-refresh combine.
+
+    ``speed`` — an active :class:`~repro.mpi.speed.RankSpeedModel` —
+    makes the case-2/case-3 verdict accept *either* a uniform or a
+    speed-proportional layout as balanced (a deliberately skewed
+    heterogeneity-aware layout is not misread as imbalance, and a
+    uniform layout left by a case-1/case-2 merge is not forced through
+    a re-sort just to match the speed targets), and steers the case-3
+    re-sort pivots to the clamped speed-proportional shares.
     """
     root_order = tree.nodes[tree.root].order
     merged: dict[View, ViewData] = {}
@@ -142,8 +152,14 @@ def merge_partitions(
     est = np.sum(comm.allgather(my_counts), axis=0)  # (nv, p)
 
     case2_idx, case3_idx = [], []
+    shares = None if speed is None else np.asarray(speed.shares)
     for idx, view in enumerate(nonprefix):
         imbalance = relative_imbalance(est[idx])
+        if shares is not None:
+            imbalance = min(
+                imbalance,
+                relative_imbalance(est[idx], shares * est[idx].sum()),
+            )
         report.imbalance[view] = imbalance
         if config.merge_policy == "always_resort":
             resort = True
@@ -183,7 +199,7 @@ def merge_partitions(
         # local-sort step degenerates to one early-exit sortedness scan.
         outcomes = batched_sample_sort(
             comm, items, config.gamma_merge, pivot_offset=0,
-            agg=config.agg, kernel="presorted",
+            agg=config.agg, kernel="presorted", speed=speed,
         )
         for idx, outcome in zip(case3_idx, outcomes):
             view = nonprefix[idx]

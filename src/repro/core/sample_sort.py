@@ -28,6 +28,7 @@ from functools import reduce
 import numpy as np
 
 from repro.mpi.comm import Comm
+from repro.mpi.speed import HeteroState, RankSpeedModel
 from repro.storage.disk import LocalDisk
 from repro.storage.external_sort import external_sort
 from repro.storage.scan import aggregate_sorted_keys, merge_sorted
@@ -36,27 +37,55 @@ from repro.storage.sortkernels import sort_pairs
 __all__ = ["SortOutcome", "adaptive_sample_sort", "relative_imbalance"]
 
 
-def relative_imbalance(sizes: np.ndarray) -> float:
-    """The paper's ``I(y0..yp-1)``; 0 for an empty or single-rank vector."""
+def relative_imbalance(
+    sizes: np.ndarray, targets: np.ndarray | None = None
+) -> float:
+    """The paper's ``I(y0..yp-1)``; 0 for an empty or single-rank vector.
+
+    With ``targets`` (non-uniform speed-proportional row goals) the
+    measure generalises to ``max_j |y_j - t_j| / yavg`` — identical to the
+    paper's formula when every target equals the mean, so the γ contract
+    is unchanged for homogeneous runs.
+    """
     sizes = np.asarray(sizes, dtype=np.float64)
     if sizes.size <= 1:
         return 0.0
     avg = sizes.mean()
     if avg == 0:
         return 0.0
-    return float(max((sizes.max() - avg) / avg, (avg - sizes.min()) / avg))
+    if targets is None:
+        return float(
+            max((sizes.max() - avg) / avg, (avg - sizes.min()) / avg)
+        )
+    t = np.asarray(targets, dtype=np.float64)
+    return float(np.abs(sizes - t).max() / avg)
 
 
-def _select_pivots(pool: np.ndarray, p: int, rho: int) -> np.ndarray:
+def _select_pivots(
+    pool: np.ndarray,
+    p: int,
+    rho: int,
+    shares: np.ndarray | None = None,
+) -> np.ndarray:
     """p-1 global pivots at pool ranks ``j·p + rho`` (clamped).
+
+    With ``shares`` (speed-proportional bucket fractions summing to 1)
+    the pivots move to the pool's cumulative-share quantiles
+    ``⌊cum_j·|pool|⌋ + rho`` instead — which reduces exactly to the
+    uniform ``j·p + rho`` when the shares are equal and the pool holds
+    the full p² sample.
 
     An empty pool (every rank empty) degenerates to zero-valued pivots so
     the bucketing step still produces ``p`` (empty) lanes.
     """
     if pool.size == 0:
         return np.zeros(p - 1, dtype=np.int64)
-    idx = np.arange(1, p, dtype=np.int64) * p + rho
-    idx = np.minimum(idx, pool.size - 1)
+    if shares is None:
+        idx = np.arange(1, p, dtype=np.int64) * p + rho
+    else:
+        cum = np.cumsum(np.asarray(shares, dtype=np.float64))[:-1]
+        idx = np.floor(cum * pool.size).astype(np.int64) + rho
+    idx = np.clip(idx, 0, pool.size - 1)
     return pool[idx]
 
 
@@ -70,6 +99,8 @@ class SortOutcome:
     imbalance: float
     #: Whether the global shift (second h-relation) ran.
     shifted: bool
+    #: The speed model the call used/updated (``None`` when hetero off).
+    speed: RankSpeedModel | None = None
 
 
 def adaptive_sample_sort(
@@ -82,6 +113,7 @@ def adaptive_sample_sort(
     pivot_offset: int | None = None,
     kernel: str | None = None,
     key_bound: int | None = None,
+    hetero: HeteroState | None = None,
 ) -> SortOutcome:
     """Globally sort ``(keys, measure)`` rows across all ranks.
 
@@ -105,12 +137,22 @@ def adaptive_sample_sort(
     ``kernel``/``key_bound`` are forwarded to the local-sort kernel
     (:func:`repro.storage.sortkernels.sort_pairs`); they change host
     wall-clock only — output and metering are kernel-invariant.
+
+    ``hetero`` enables heterogeneity-aware partitioning: the local-sort
+    phase doubles as a throughput probe (rows processed over the rank's
+    busy seconds since its last collective), the per-rank samples are
+    allgathered so every rank derives the identical updated
+    :class:`~repro.mpi.speed.RankSpeedModel`, and the global pivots /
+    balance targets shift to that model's clamped speed-proportional
+    shares instead of uniform ``n/p``.
     """
     p = comm.size
     keys = np.ascontiguousarray(keys, dtype=np.int64)
     measure = np.ascontiguousarray(measure, dtype=np.float64)
     if keys.shape != measure.shape:
         raise ValueError("keys and measure must be parallel arrays")
+    n_input = keys.shape[0]
+    busy0 = comm.clock.rank_busy[comm.rank] if hetero is not None else 0.0
 
     # Step 1: local sort + p local pivots at ranks 0, n/p, ..., (p-1)n/p.
     if disk is not None and memory_budget is not None:
@@ -129,12 +171,26 @@ def adaptive_sample_sort(
         local_pivots = keys[:0]
     gathered = comm.gather(local_pivots, root=0)
 
+    # Throughput probe: the pivot gather's superstep commit has folded
+    # the local-sort segment into rank_busy, so the delta since call
+    # entry is this rank's busy time for ~n_input rows of local work.
+    # One extra cheap allgather publishes every rank's sample; all ranks
+    # fold them into the same model, so the pivot targets below agree
+    # everywhere without further coordination.
+    speed: RankSpeedModel | None = None
+    if hetero is not None:
+        busy = comm.clock.rank_busy[comm.rank] - busy0
+        samples = comm.allgather((int(n_input), float(busy)))
+        speed = hetero.observe(samples)
+    shares = None if speed is None else np.asarray(speed.shares)
+
     # Step 2: P0 sorts the <= p^2 pivots and picks p-1 regularly spaced
-    # global pivots (ranks p + p/2, 2p + p/2, ...).
+    # global pivots (ranks p + p/2, 2p + p/2, ...), or the clamped
+    # speed-share quantiles when a speed model is active.
     rho = p // 2 if pivot_offset is None else int(pivot_offset)
     if comm.rank == 0:
         pool = np.sort(np.concatenate(gathered)) if gathered else keys[:0]
-        global_pivots = _select_pivots(pool, p, rho)
+        global_pivots = _select_pivots(pool, p, rho, shares)
     else:
         global_pivots = None
     global_pivots = comm.bcast(global_pivots, root=0)
@@ -165,14 +221,16 @@ def adaptive_sample_sort(
     else:
         keys, measure = keys[:0], measure[:0]
 
-    # Step 6: imbalance check and optional global shift.
+    # Step 6: imbalance check (against uniform or speed-proportional
+    # targets) and optional global shift.
     sizes = np.asarray(comm.allgather(keys.shape[0]), dtype=np.int64)
-    imbalance = relative_imbalance(sizes)
+    targets = None if speed is None else speed.counts(int(sizes.sum()))
+    imbalance = relative_imbalance(sizes, targets)
     shifted = False
     if imbalance > gamma:
-        keys, measure = _global_shift(comm, keys, measure, sizes)
+        keys, measure = _global_shift(comm, keys, measure, sizes, targets)
         shifted = True
-    return SortOutcome(keys, measure, imbalance, shifted)
+    return SortOutcome(keys, measure, imbalance, shifted, speed)
 
 
 def batched_sample_sort(
@@ -182,6 +240,7 @@ def batched_sample_sort(
     pivot_offset: int | None = None,
     agg: str | None = None,
     kernel: str | None = None,
+    speed: RankSpeedModel | None = None,
 ) -> list[SortOutcome]:
     """Adaptive-Sample-Sort of many independent arrays in one superstep set.
 
@@ -204,11 +263,17 @@ def batched_sample_sort(
     ``kernel`` forces the local-sort kernel for every item — the merge's
     case-3 caller passes ``"presorted"`` because its pieces are sorted
     view slices, turning step 1 into a single early-exit scan per item.
+
+    ``speed`` applies an already-published
+    :class:`~repro.mpi.speed.RankSpeedModel` to every item's pivots and
+    balance targets (no probing here: the batched call rides inside the
+    merge phase, whose model was measured during partitioning).
     """
     p = comm.size
     n_items = len(items)
     if n_items == 0:
         return []
+    shares = None if speed is None else np.asarray(speed.shares)
 
     # Step 1: local sorts + per-item local pivots.
     sorted_items: list[tuple[np.ndarray, np.ndarray]] = []
@@ -235,7 +300,7 @@ def batched_sample_sort(
             pool = np.sort(
                 np.concatenate([ranks[item] for ranks in gathered])
             )
-            all_pivots.append(_select_pivots(pool, p, rho))
+            all_pivots.append(_select_pivots(pool, p, rho, shares))
     else:
         all_pivots = None
     all_pivots = comm.bcast(all_pivots, root=0)
@@ -282,8 +347,17 @@ def batched_sample_sort(
     all_sizes = np.vstack(comm.allgather(my_sizes))  # (p, n_items)
 
     # Step 6: joint global shift for every item over its threshold.
+    item_targets: list[np.ndarray | None]
+    if speed is None:
+        item_targets = [None] * n_items
+    else:
+        item_targets = [
+            speed.counts(int(all_sizes[:, item].sum()))
+            for item in range(n_items)
+        ]
     imbalances = [
-        relative_imbalance(all_sizes[:, item]) for item in range(n_items)
+        relative_imbalance(all_sizes[:, item], item_targets[item])
+        for item in range(n_items)
     ]
     need_shift = [item for item in range(n_items) if imbalances[item] > gamma]
     outcomes: list[SortOutcome | None] = [None] * n_items
@@ -296,9 +370,12 @@ def batched_sample_sort(
             keys, measure = merged[item]
             sizes = all_sizes[:, item]
             total = int(sizes.sum())
-            base, rem = divmod(total, p)
-            target_counts = np.full(p, base, dtype=np.int64)
-            target_counts[:rem] += 1
+            if item_targets[item] is None:
+                base, rem = divmod(total, p)
+                target_counts = np.full(p, base, dtype=np.int64)
+                target_counts[:rem] += 1
+            else:
+                target_counts = item_targets[item]
             target_ends = np.cumsum(target_counts)
             target_starts = target_ends - target_counts
             my_start = int(sizes[: comm.rank].sum())
@@ -330,20 +407,23 @@ def _global_shift(
     keys: np.ndarray,
     measure: np.ndarray,
     sizes: np.ndarray,
+    target_counts: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Rebalance a globally sorted distribution to even counts.
+    """Rebalance a globally sorted distribution to the target counts.
 
     Rows occupy global positions ``offset_j .. offset_j + y_j`` on rank
-    ``j``; the target layout gives each rank ``total/p`` rows (remainder on
-    the lowest ranks).  One h-relation routes every row to the rank owning
-    its global position; received pieces concatenate in source-rank order,
-    which *is* global order.
+    ``j``; the default target layout gives each rank ``total/p`` rows
+    (remainder on the lowest ranks), while a speed model passes its
+    clamped proportional ``target_counts`` instead.  One h-relation routes
+    every row to the rank owning its global position; received pieces
+    concatenate in source-rank order, which *is* global order.
     """
     p = comm.size
     total = int(sizes.sum())
-    base, rem = divmod(total, p)
-    target_counts = np.full(p, base, dtype=np.int64)
-    target_counts[:rem] += 1
+    if target_counts is None:
+        base, rem = divmod(total, p)
+        target_counts = np.full(p, base, dtype=np.int64)
+        target_counts[:rem] += 1
     target_ends = np.cumsum(target_counts)
     target_starts = target_ends - target_counts
 

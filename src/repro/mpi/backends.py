@@ -398,6 +398,10 @@ class _ProcessTransport:
                 # consumers survive this: only the name goes away.
                 plane.recycle(own)
         # Mirror the superstep commit clearing the rank's local accrual.
+        # The worker's forked clock never runs commit_superstep, so fold
+        # the shipped segment into its own rank_busy entry here to keep
+        # the throughput profiler's view consistent across backends.
+        clock.rank_busy[rank] += segment
         clock._pending_segment[rank] = 0.0
         clock._phase_accrual[rank].clear()
         return result
@@ -536,19 +540,23 @@ class Supervisor:
         procs: Sequence,
         heartbeat_interval: float = 0.25,
         suspect_after: float = 600.0,
+        now: Callable[[], float] | None = None,
     ):
         self.procs = procs
         self.heartbeat_interval = float(heartbeat_interval)
         self.suspect_after = float(suspect_after)
+        # Injectable clock so the deadline boundary (exactly-at vs
+        # just-under) is testable without real sleeps.
+        self._now = time.monotonic if now is None else now
 
     def await_message(self, conn, rank: int):
         """Block until rank's next protocol message, supervising its
         liveness; raises :class:`RankDead` / :class:`RankHung`."""
-        deadline = time.monotonic() + self.suspect_after
+        deadline = self._now() + self.suspect_after
         while True:
             budget = min(
                 self.heartbeat_interval,
-                max(0.0, deadline - time.monotonic()),
+                max(0.0, deadline - self._now()),
             )
             try:
                 if conn.poll(budget):
@@ -565,7 +573,7 @@ class Supervisor:
                 except (EOFError, OSError):
                     pass
                 raise self.post_mortem(rank, "its process exited")
-            if time.monotonic() >= deadline:
+            if self._now() >= deadline:
                 raise RankHung(
                     f"rank {rank} exceeded its {self.suspect_after:.1f}s "
                     "superstep deadline (process alive: straggler declared "

@@ -65,6 +65,11 @@ class BSPClock:
         self._io_mark = [0] * p
         self._work_mark = [0.0] * p
         self._pending_segment = [0.0] * p
+        # Cumulative local-work seconds per rank across the whole run —
+        # the raw signal for per-rank throughput (rows/sec) estimation.
+        # Thread backend + the process-backend coordinator see the full
+        # vector; a process-backend worker only maintains its own entry.
+        self.rank_busy = [0.0] * p
         self._phase = ["startup"] * p
         # Per-rank accrual of local work split by the phase it happened in
         # (rank 0's split is used to apportion each superstep's cost).
@@ -184,12 +189,16 @@ class BSPClock:
                 )
             )
         for j in range(len(self._pending_segment)):
+            self.rank_busy[j] += self._pending_segment[j]
             self._pending_segment[j] = 0.0
             self._phase_accrual[j].clear()
 
     def finish(self, segments: list[float]) -> None:
         """Fold in the final (post-last-collective) per-rank segments."""
         compute = max(segments) if segments else 0.0
+        for j, seg in enumerate(segments):
+            if j < len(self.rank_busy):
+                self.rank_busy[j] += seg
         self.sim_time += compute
         self.compute_time += compute
         self.phase_seconds[self._phase[0]] += compute

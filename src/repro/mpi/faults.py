@@ -52,14 +52,22 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.mpi.errors import CorruptPayload, DiskFull, InjectedFault, MPIError
+from repro.mpi.errors import (
+    CorruptPayload,
+    DiskFull,
+    InjectedFault,
+    MPIError,
+    RankHung,
+)
 
 __all__ = [
     "CrashFault",
     "CorruptFault",
     "DelayFault",
     "DiskFullFault",
+    "HangFault",
     "KillFault",
+    "SlowFault",
     "FaultPlan",
     "FaultyTransport",
     "ServeCorruptFault",
@@ -138,7 +146,47 @@ class DiskFullFault:
     kind: str = field(default="diskfull", init=False)
 
 
-Fault = CrashFault | KillFault | CorruptFault | DelayFault | DiskFullFault
+@dataclass(frozen=True)
+class SlowFault:
+    """Rank ``rank`` runs ``factor``× slower: every superstep's local
+    segment (measured CPU + modelled disk/work) is multiplied before the
+    BSP commit reads it — a deterministic heterogeneous-host model, no
+    real sleep.  Persistent for the whole run; an optional ``iteration``
+    restricts the slowdown to supersteps whose phase label carries that
+    cube-iteration index (``...[i]``)."""
+
+    rank: int
+    factor: float
+    iteration: int | None = None
+    attempt: int = 0
+    kind: str = field(default="slow", init=False)
+
+
+@dataclass(frozen=True)
+class HangFault:
+    """Rank ``rank`` is declared a hung straggler entering superstep
+    ``superstep``: the rank raises :class:`~repro.mpi.errors.RankHung`
+    with itself as culprit — the verdict the process backend's
+    :class:`~repro.mpi.backends.Supervisor` reaches after
+    ``suspect_after`` of real silence, synthesised deterministically so
+    straggler handling (transient retry, speculative re-execution) is
+    testable on both backends without wall-clock stalls."""
+
+    rank: int
+    superstep: int
+    attempt: int = 0
+    kind: str = field(default="hang", init=False)
+
+
+Fault = (
+    CrashFault
+    | KillFault
+    | CorruptFault
+    | DelayFault
+    | DiskFullFault
+    | SlowFault
+    | HangFault
+)
 
 #: CLI grammar, one entry per fault, ``;``-separated:
 #:   crash@r<rank>s<superstep>[a<attempt>]
@@ -146,10 +194,13 @@ Fault = CrashFault | KillFault | CorruptFault | DelayFault | DiskFullFault
 #:   corrupt@r<rank>s<superstep>[a<attempt>]
 #:   delay@r<rank>s<superstep>x<seconds>[a<attempt>]
 #:   diskfull@r<rank>b<blocks>[a<attempt>]
+#:   slow@r<rank>x<factor>[i<iteration>][a<attempt>]
+#:   hang@r<rank>s<superstep>[a<attempt>]
 _SPEC_RE = re.compile(
-    r"^(?P<kind>crash|kill|corrupt|delay|diskfull)@r(?P<rank>\d+)"
+    r"^(?P<kind>crash|kill|corrupt|delay|diskfull|slow|hang)@r(?P<rank>\d+)"
     r"(?:s(?P<step>\d+))?(?:b(?P<blocks>\d+))?"
-    r"(?:x(?P<seconds>[0-9.]+))?(?:a(?P<attempt>\d+))?$"
+    r"(?:x(?P<seconds>[0-9.]+))?(?:i(?P<iteration>\d+))?"
+    r"(?:a(?P<attempt>\d+))?$"
 )
 
 
@@ -187,8 +238,8 @@ class FaultPlan:
             if m is None:
                 raise ValueError(
                     f"bad fault spec {raw!r}; expected e.g. crash@r1s5, "
-                    "kill@r1s5, corrupt@r2s3, delay@r0s2x0.5, diskfull@r1b40 "
-                    "(optional a<attempt> suffix)"
+                    "kill@r1s5, corrupt@r2s3, delay@r0s2x0.5, diskfull@r1b40, "
+                    "slow@r0x2, hang@r1s5 (optional a<attempt> suffix)"
                 )
             kind = m.group("kind")
             rank = int(m.group("rank"))
@@ -200,6 +251,19 @@ class FaultPlan:
                     DiskFullFault(rank, int(m.group("blocks")), attempt)
                 )
                 continue
+            if kind == "slow":
+                if m.group("seconds") is None:
+                    raise ValueError(f"{raw!r}: slow needs x<factor>")
+                factor = float(m.group("seconds"))
+                if factor <= 0:
+                    raise ValueError(f"{raw!r}: slow factor must be > 0")
+                iteration = (
+                    int(m.group("iteration"))
+                    if m.group("iteration") is not None
+                    else None
+                )
+                faults.append(SlowFault(rank, factor, iteration, attempt))
+                continue
             if m.group("step") is None:
                 raise ValueError(f"{raw!r}: {kind} needs s<superstep>")
             step = int(m.group("step"))
@@ -209,6 +273,8 @@ class FaultPlan:
                 faults.append(KillFault(rank, step, attempt))
             elif kind == "corrupt":
                 faults.append(CorruptFault(rank, step, attempt))
+            elif kind == "hang":
+                faults.append(HangFault(rank, step, attempt))
             else:
                 faults.append(
                     DelayFault(
@@ -254,6 +320,16 @@ class FaultPlan:
                         attempt,
                     )
                 )
+            elif kind == "slow":
+                faults.append(
+                    SlowFault(
+                        rank, float(rng.uniform(1.25, 3.0)), None, attempt
+                    )
+                )
+            elif kind == "hang":
+                faults.append(
+                    HangFault(rank, int(rng.integers(max_superstep)), attempt)
+                )
             else:
                 faults.append(
                     DiskFullFault(
@@ -279,6 +355,12 @@ class FaultPlan:
             + (
                 f"x{f.seconds:g}"
                 if isinstance(f, DelayFault)
+                else ""
+            )
+            + (f"x{f.factor:g}" if isinstance(f, SlowFault) else "")
+            + (
+                f"i{f.iteration}"
+                if isinstance(f, SlowFault) and f.iteration is not None
                 else ""
             )
             + (f"a{f.attempt}" if f.attempt else "")
@@ -329,6 +411,10 @@ class FaultPlan:
                 for f in mine
                 if isinstance(f, DelayFault)
             },
+            hang_at={
+                f.superstep for f in mine if isinstance(f, HangFault)
+            },
+            slow=tuple(f for f in mine if isinstance(f, SlowFault)),
             seal=self.seal_payloads,
             hard_kill=(backend == "process"),
         )
@@ -622,6 +708,8 @@ class FaultyTransport:
         kill_at: set[int] | None = None,
         corrupt_at: set[int] | None = None,
         delay_at: dict[int, float] | None = None,
+        hang_at: set[int] | None = None,
+        slow: tuple[SlowFault, ...] = (),
         seal: bool = True,
         hard_kill: bool = False,
     ):
@@ -632,6 +720,8 @@ class FaultyTransport:
         self.kill_at = kill_at or set()
         self.corrupt_at = corrupt_at or set()
         self.delay_at = delay_at or {}
+        self.hang_at = hang_at or set()
+        self.slow = slow
         self.seal = seal
         self.hard_kill = hard_kill
         self.superstep = 0
@@ -661,6 +751,15 @@ class FaultyTransport:
                 f"({kind})",
                 rank=self.rank,
             )
+        if step in self.hang_at:
+            # Synthesised supervisor verdict: the straggler is declared
+            # hung without a real wall-clock stall, so both backends see
+            # the same deterministic transient failure.
+            raise RankHung(
+                f"rank {self.rank}: injected hang at superstep {step} "
+                f"({kind}; synthesised straggler verdict)",
+                rank=self.rank,
+            )
         delay = self.delay_at.get(step)
         if delay is not None:
             # Straggle: charge extra simulated seconds to this rank's
@@ -670,6 +769,22 @@ class FaultyTransport:
             self.clock._phase_accrual[self.rank][
                 self.clock._phase[self.rank]
             ] += delay
+        if self.slow:
+            phase = self.clock._phase[self.rank]
+            factor = 1.0
+            for f in self.slow:
+                if f.iteration is None or phase.endswith(f"[{f.iteration}]"):
+                    factor *= f.factor
+            if factor != 1.0:
+                # Multiply the segment the BSP commit is about to read;
+                # Comm always marks the segment before calling the
+                # transport, so the full local work is in pending here.
+                extra = (
+                    (factor - 1.0)
+                    * self.clock._pending_segment[self.rank]
+                )
+                self.clock._pending_segment[self.rank] += extra
+                self.clock._phase_accrual[self.rank][phase] += extra
         if not self.seal:
             return self.inner.exchange(kind, payload, send_row, reader)
         sealed = _seal(payload, self.rank)

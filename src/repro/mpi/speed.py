@@ -1,0 +1,219 @@
+"""Per-rank throughput modelling for heterogeneity-aware partitioning.
+
+The paper's sample sort targets *uniform* h-relation shares: every rank
+receives ``N/p`` rows, which is optimal only when all p ranks are equally
+fast.  On mixed-speed hosts (or degraded width-(p-k) runs resharded onto
+survivors) the superstep ends when the *slowest* rank finishes, so the
+right target is work proportional to measured speed — the partitioning
+strategy of Cérin et al. for sorting on heterogeneous clusters.
+
+:class:`RankSpeedModel` is the published model: relative per-rank speeds
+(normalised to mean 1) plus the *clamped* share vector derived from
+them.  The clamp keeps any single rank's share inside
+``[floor/p, ceil/p]`` (default ``[1/(2p), 2/p]``) so a mis-measured or
+briefly-idle rank can neither starve nor drown; :func:`clamped_shares`
+solves for the unique scaling of the raw proportional shares whose
+clipped sum is 1 (monotone in the scale factor, found by bisection).
+
+:class:`HeteroState` is the per-run tracker: each cube iteration's
+sample-sort phase observes fresh ``(rows, busy-seconds)`` samples from
+every rank (allgathered, so all ranks derive an identical model) and
+blends them into the running model with an exponential moving average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.mpi.stats import throughput_rates
+
+__all__ = ["RankSpeedModel", "HeteroState", "clamped_shares"]
+
+_EPS = 1e-12
+
+
+def clamped_shares(
+    speeds: Sequence[float], floor: float = 0.5, ceil: float = 2.0
+) -> np.ndarray:
+    """Shares proportional to ``speeds``, clipped to ``[floor/p, ceil/p]``.
+
+    Solves ``sum_j clip(t * s_j / sum(s), floor/p, ceil/p) == 1`` for the
+    scale ``t`` by bisection (the sum is continuous and nondecreasing in
+    ``t``, ranging from ``floor`` to ``ceil``, and ``floor <= 1 <= ceil``
+    guarantees a solution).  Deterministic, and exactly uniform for equal
+    speeds.
+    """
+    s = np.maximum(np.asarray(speeds, dtype=np.float64), _EPS)
+    p = s.size
+    if p == 0:
+        raise ValueError("clamped_shares needs at least one rank")
+    if not (0.0 < floor <= 1.0 <= ceil):
+        raise ValueError(
+            f"need 0 < floor <= 1 <= ceil, got floor={floor} ceil={ceil}"
+        )
+    if p == 1:
+        return np.ones(1)
+    lo, hi = floor / p, ceil / p
+    base = s / s.sum()
+
+    def total(t: float) -> float:
+        return float(np.clip(t * base, lo, hi).sum())
+
+    t_lo, t_hi = 0.0, 1.0
+    while total(t_hi) < 1.0:
+        t_hi *= 2.0
+    for _ in range(64):
+        mid = 0.5 * (t_lo + t_hi)
+        if total(mid) < 1.0:
+            t_lo = mid
+        else:
+            t_hi = mid
+    out = np.clip(t_hi * base, lo, hi)
+    return out / out.sum()
+
+
+@dataclass(frozen=True)
+class RankSpeedModel:
+    """Relative per-rank speeds and the clamped share targets they imply.
+
+    ``speeds`` are normalised to mean 1 (a homogeneous cluster is all
+    ones); ``floor``/``ceil`` bound any rank's share of the data to
+    ``[floor/p, ceil/p]``.
+    """
+
+    speeds: tuple[float, ...]
+    floor: float = 0.5
+    ceil: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not self.speeds:
+            raise ValueError("RankSpeedModel needs at least one rank")
+        if not (0.0 < self.floor <= 1.0 <= self.ceil):
+            raise ValueError(
+                f"need 0 < floor <= 1 <= ceil, got "
+                f"floor={self.floor} ceil={self.ceil}"
+            )
+
+    # -- construction -------------------------------------------------------
+
+    @staticmethod
+    def uniform(
+        p: int, floor: float = 0.5, ceil: float = 2.0
+    ) -> "RankSpeedModel":
+        return RankSpeedModel((1.0,) * p, floor, ceil)
+
+    @staticmethod
+    def from_rates(
+        rates: Sequence[float], floor: float = 0.5, ceil: float = 2.0
+    ) -> "RankSpeedModel":
+        """Normalise raw rows/sec rates to a mean-1 speed vector."""
+        r = np.maximum(np.asarray(rates, dtype=np.float64), _EPS)
+        speeds = r / r.mean()
+        return RankSpeedModel(tuple(float(x) for x in speeds), floor, ceil)
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def p(self) -> int:
+        return len(self.speeds)
+
+    @property
+    def shares(self) -> tuple[float, ...]:
+        """Clamped fraction of the data each rank should receive."""
+        return tuple(
+            float(x) for x in clamped_shares(self.speeds, self.floor, self.ceil)
+        )
+
+    def counts(self, total: int) -> np.ndarray:
+        """Integer row targets summing exactly to ``total``
+        (largest-remainder apportionment; ties broken by rank index)."""
+        shares = np.asarray(self.shares, dtype=np.float64)
+        raw = shares * int(total)
+        base = np.floor(raw).astype(np.int64)
+        rem = int(total) - int(base.sum())
+        if rem > 0:
+            order = np.argsort(-(raw - base), kind="stable")
+            base[order[:rem]] += 1
+        return base
+
+    # -- evolution ----------------------------------------------------------
+
+    def blend(
+        self, rates: Sequence[float], alpha: float
+    ) -> "RankSpeedModel":
+        """EMA-blend fresh measured rates into the model
+        (``alpha`` = weight of the new observation)."""
+        fresh = np.asarray(
+            RankSpeedModel.from_rates(rates, self.floor, self.ceil).speeds
+        )
+        mixed = alpha * fresh + (1.0 - alpha) * np.asarray(self.speeds)
+        return RankSpeedModel.from_rates(mixed, self.floor, self.ceil)
+
+    def restrict(self, indices: Sequence[int]) -> "RankSpeedModel":
+        """The model induced on a surviving subset of ranks (renormalised
+        and re-clamped at the new width) — the prior for degraded
+        width-(p-k) resharding."""
+        picked = [self.speeds[i] for i in indices]
+        if not picked:
+            raise ValueError("restrict() needs at least one surviving rank")
+        return RankSpeedModel.from_rates(picked, self.floor, self.ceil)
+
+    # -- persistence --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "speeds": list(self.speeds),
+            "shares": list(self.shares),
+            "floor": self.floor,
+            "ceil": self.ceil,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "RankSpeedModel":
+        return RankSpeedModel(
+            tuple(float(x) for x in data["speeds"]),
+            float(data.get("floor", 0.5)),
+            float(data.get("ceil", 2.0)),
+        )
+
+
+class HeteroState:
+    """Mutable per-run tracker threading the speed model through a build.
+
+    Owned by each rank's program; every rank feeds it the *same*
+    allgathered samples, so the models (and hence the pivot targets) stay
+    identical across ranks without further coordination.
+    """
+
+    def __init__(
+        self,
+        p: int,
+        floor: float = 0.5,
+        ceil: float = 2.0,
+        blend: float = 0.5,
+        prior: RankSpeedModel | None = None,
+    ):
+        self.p = p
+        self.floor = floor
+        self.ceil = ceil
+        self.blend = blend
+        self.model = prior
+
+    def observe(
+        self, samples: Sequence[tuple[int, float]]
+    ) -> RankSpeedModel:
+        """Fold one round of per-rank ``(rows, busy_seconds)`` samples
+        into the model and return the updated model."""
+        rows = np.asarray([s[0] for s in samples], dtype=np.float64)
+        busy = np.asarray([s[1] for s in samples], dtype=np.float64)
+        rates = throughput_rates(rows, busy)
+        if self.model is None:
+            self.model = RankSpeedModel.from_rates(
+                rates, self.floor, self.ceil
+            )
+        else:
+            self.model = self.model.blend(rates, self.blend)
+        return self.model

@@ -19,7 +19,29 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["CommStats", "payload_nbytes"]
+__all__ = ["CommStats", "payload_nbytes", "throughput_rates"]
+
+
+def throughput_rates(
+    rows: np.ndarray, busy_seconds: np.ndarray, eps: float = 1e-12
+) -> np.ndarray:
+    """Per-rank rows/sec from ``(rows processed, busy seconds)`` samples.
+
+    The raw signal for :class:`~repro.mpi.speed.RankSpeedModel`.  A rank
+    with no rows or no measurable busy time carries no information, so it
+    is presumed to run at the mean rate of the ranks that do (never zero:
+    a zero rate would starve the rank of data forever).  All ones when no
+    rank produced a usable sample.
+    """
+    rows = np.asarray(rows, dtype=np.float64)
+    busy = np.asarray(busy_seconds, dtype=np.float64)
+    rates = np.ones_like(rows)
+    valid = (rows > 0) & (busy > eps)
+    if valid.any():
+        measured = rows[valid] / busy[valid]
+        rates[valid] = measured
+        rates[~valid] = measured.mean()
+    return rates
 
 
 def payload_nbytes(obj: Any) -> int:

@@ -1,0 +1,467 @@
+"""Heterogeneity-aware partitioning and speculative straggler races.
+
+Covers the rank speed model (clamped shares, apportionment, blending,
+serialisation), speed-weighted pivots and share bounds, the ``slow@`` /
+``hang@`` fault grammar and deterministic metering under both backends,
+the supervisor's ``suspect_after`` deadline boundary, seeded backoff
+jitter, and the speculative re-execution race end to end (recovered
+straggler discarding the duplicate vs the width-(p-1) clone winning).
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.config import CubeConfig, MachineSpec, RecoveryPolicy
+from repro.core.checkpoint import ReshardPlan, share_bounds
+from repro.core.cube import build_data_cube
+from repro.core.sample_sort import _select_pivots, relative_imbalance
+from repro.mpi.errors import RankHung
+from repro.mpi.faults import FaultPlan, HangFault, SlowFault
+from repro.mpi.speed import HeteroState, RankSpeedModel, clamped_shares
+from repro.mpi.stats import throughput_rates
+from repro.storage.table import Relation
+
+from .conftest import make_relation
+from .test_degraded import content_fingerprint, det_spec, requires_fork
+
+CARDS = (8, 6, 5)
+
+
+@pytest.fixture(scope="module")
+def relation():
+    raw = make_relation(1500, CARDS, seed=17)
+    # Integer-valued measures so regrouped rows aggregate bit-exactly
+    # regardless of partition layout (float summation order differs).
+    return Relation(raw.dims, np.floor(raw.measure))
+
+
+def build(relation, backend, p=3, *, hetero=False, **kw):
+    return build_data_cube(
+        relation, CARDS, det_spec(backend, p), CubeConfig(hetero=hetero),
+        **kw,
+    )
+
+
+# ---------------------------------------------------------------------------
+# speed model
+# ---------------------------------------------------------------------------
+
+
+class TestClampedShares:
+    def test_uniform_speeds_give_uniform_shares(self):
+        shares = clamped_shares(np.ones(4))
+        assert np.allclose(shares, 0.25)
+
+    def test_shares_sum_to_one_and_respect_bounds(self):
+        for speeds in ([0.2, 1.0, 1.0, 1.8], [0.01, 1, 1, 1], [5, 1, 1, 1]):
+            shares = clamped_shares(np.asarray(speeds, dtype=float))
+            assert shares.sum() == pytest.approx(1.0)
+            p = len(speeds)
+            assert (shares >= 0.5 / p - 1e-9).all()
+            assert (shares <= 2.0 / p + 1e-9).all()
+
+    def test_faster_rank_gets_larger_share(self):
+        shares = clamped_shares(np.asarray([0.5, 1.0, 1.5, 1.0]))
+        assert shares[0] < shares[1] < shares[2]
+
+    def test_single_rank(self):
+        assert clamped_shares(np.asarray([3.0])) == pytest.approx([1.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clamped_shares(np.ones(2), floor=0.0)
+        with pytest.raises(ValueError):
+            clamped_shares(np.ones(2), ceil=0.9)
+
+
+class TestRankSpeedModel:
+    def test_from_rates_normalises_to_mean_one(self):
+        m = RankSpeedModel.from_rates([10.0, 20.0, 30.0])
+        assert np.mean(m.speeds) == pytest.approx(1.0)
+        assert m.speeds[0] < m.speeds[1] < m.speeds[2]
+
+    def test_counts_apportion_exactly(self):
+        m = RankSpeedModel.from_rates([0.5, 1.0, 1.0, 1.5])
+        for total in (0, 1, 97, 4000):
+            counts = m.counts(total)
+            assert counts.sum() == total
+        counts = m.counts(7000)
+        # Slow rank gets the clamped smaller piece, fast the larger.
+        assert counts[0] < counts[1] <= counts[3]
+
+    def test_counts_deterministic(self):
+        m = RankSpeedModel.from_rates([1.0, 1.0, 1.0])
+        assert list(m.counts(100)) == list(m.counts(100))
+
+    def test_restrict_drops_lost_rank(self):
+        m = RankSpeedModel.from_rates([0.5, 1.0, 1.5, 1.0])
+        r = m.restrict([0, 2, 3])
+        assert r.p == 3
+        assert np.mean(r.speeds) == pytest.approx(1.0)
+        # Relative ordering of the survivors is preserved.
+        assert r.speeds[0] < r.speeds[2] < r.speeds[1]
+
+    def test_blend_moves_toward_new_rates(self):
+        m = RankSpeedModel.from_rates([1.0, 1.0])
+        b = m.blend([0.5, 1.5], alpha=0.5)
+        assert b.speeds[0] < 1.0 < b.speeds[1]
+
+    def test_dict_round_trip(self):
+        m = RankSpeedModel.from_rates([0.7, 1.3], floor=0.6, ceil=1.8)
+        d = m.to_dict()
+        r = RankSpeedModel.from_dict(d)
+        assert r == m
+        assert d["shares"] == pytest.approx(list(m.shares))
+
+    def test_uniform(self):
+        m = RankSpeedModel.uniform(5)
+        assert m.shares == pytest.approx((0.2,) * 5)
+
+
+class TestThroughputRates:
+    def test_rates_proportional_to_rows_over_busy(self):
+        rates = throughput_rates([100, 100], [1.0, 2.0])
+        assert rates[0] == pytest.approx(2 * rates[1])
+
+    def test_idle_rank_gets_mean_of_valid(self):
+        rates = throughput_rates([100, 0, 100], [1.0, 0.0, 1.0])
+        assert rates[1] == pytest.approx((rates[0] + rates[2]) / 2)
+
+    def test_all_invalid_falls_back_to_ones(self):
+        assert throughput_rates([0, 0], [0.0, 0.0]) == pytest.approx([1, 1])
+
+
+class TestHeteroState:
+    def test_observe_builds_then_blends(self):
+        st = HeteroState(2)
+        first = st.observe([(100, 2.0), (100, 1.0)])
+        assert first.speeds[0] < first.speeds[1]
+        # A contradicting second sample moves the model but, blended,
+        # does not fully flip to the new snapshot.
+        second = st.observe([(100, 1.0), (100, 2.0)])
+        snapshot = RankSpeedModel.from_rates([100 / 1.0, 100 / 2.0])
+        assert second.speeds[0] > first.speeds[0]
+        assert second.speeds[0] < snapshot.speeds[0]
+
+
+# ---------------------------------------------------------------------------
+# weighted pivots, imbalance, share bounds
+# ---------------------------------------------------------------------------
+
+
+class TestWeightedSelection:
+    def test_uniform_shares_reduce_to_legacy_pivots(self):
+        p, rho = 4, 2
+        pool = np.sort(np.random.default_rng(0).integers(0, 1000, p * p))
+        legacy = _select_pivots(pool, p, rho, None)
+        uniform = _select_pivots(pool, p, rho, np.full(p, 1 / p))
+        assert np.array_equal(legacy, uniform)
+
+    def test_weighted_pivots_shift_toward_small_share(self):
+        p = 4
+        pool = np.arange(p * p, dtype=np.int64)
+        skew = _select_pivots(pool, p, 0, np.asarray([0.1, 0.3, 0.3, 0.3]))
+        flat = _select_pivots(pool, p, 0, np.full(p, 0.25))
+        assert skew[0] < flat[0]
+
+    def test_relative_imbalance_uniform_formula(self):
+        sizes = np.asarray([90, 100, 110])
+        assert relative_imbalance(sizes) == pytest.approx(10 / 100)
+
+    def test_relative_imbalance_zero_at_exact_targets(self):
+        sizes = np.asarray([50, 100, 150])
+        assert relative_imbalance(sizes, sizes.copy()) == 0.0
+        # The same layout is heavily imbalanced vs uniform targets.
+        assert relative_imbalance(sizes) == pytest.approx(0.5)
+
+
+class TestWeightedShareBounds:
+    def test_uniform_path_unchanged(self):
+        # weights=None must keep the historical layout (remainder on the
+        # lowest-index shares).
+        assert share_bounds(10, 3, 0) == share_bounds(10, 3, 0, None)
+        lo, hi = share_bounds(10, 3, 0)
+        assert (lo, hi) == (0, 4)
+
+    @pytest.mark.parametrize("nrows", [0, 1, 7, 1000])
+    def test_weighted_shares_partition_the_range(self, nrows):
+        weights = [0.5, 1.0, 2.0, 1.0]
+        bounds = [
+            share_bounds(nrows, 4, i, weights) for i in range(4)
+        ]
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == nrows
+        for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+            assert hi == lo  # contiguous, disjoint, ordered
+
+    def test_weighted_shares_track_proportions(self):
+        weights = [1.0, 3.0]
+        lo, hi = share_bounds(1000, 2, 0, weights)
+        assert hi - lo == 250
+
+    def test_reshard_plan_carries_weights(self):
+        plan = ReshardPlan.after_loss(
+            4, [1], "/a", "/b", weights=[0.2, 0.5, 0.3]
+        )
+        assert plan.weights == (0.2, 0.5, 0.3)
+        assert plan.new_width == 3
+
+    def test_reshard_plan_validates_weights(self):
+        with pytest.raises(ValueError):
+            ReshardPlan.after_loss(4, [1], "/a", "/b", weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            ReshardPlan.after_loss(
+                4, [1], "/a", "/b", weights=[1.0, -1.0, 1.0]
+            )
+
+
+# ---------------------------------------------------------------------------
+# fault grammar + metering
+# ---------------------------------------------------------------------------
+
+
+class TestFaultGrammar:
+    def test_parse_slow(self):
+        plan = FaultPlan.parse("slow@r0x2")
+        (f,) = plan.faults
+        assert isinstance(f, SlowFault)
+        assert (f.rank, f.factor, f.iteration) == (0, 2.0, None)
+
+    def test_parse_slow_with_iteration_and_attempt(self):
+        (f,) = FaultPlan.parse("slow@r2x1.5i3a1").faults
+        assert (f.rank, f.factor, f.iteration, f.attempt) == (2, 1.5, 3, 1)
+
+    def test_parse_hang(self):
+        (f,) = FaultPlan.parse("hang@r1s5").faults
+        assert isinstance(f, HangFault)
+        assert (f.rank, f.superstep) == (1, 5)
+
+    def test_describe_round_trips(self):
+        spec = "slow@r0x2;hang@r1s5a1;slow@r2x1.5i3"
+        plan = FaultPlan.parse(spec)
+        assert FaultPlan.parse(plan.describe()).faults == plan.faults
+
+    def test_slow_requires_factor(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("slow@r0")
+
+    def test_hang_requires_superstep(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("hang@r1")
+
+
+class TestSlowMetering:
+    def _slow_run(self, relation, backend):
+        return build(
+            relation, backend, faults=FaultPlan.parse("slow@r0x2"),
+            recovery=RecoveryPolicy(max_retries=0), audit=True,
+        )
+
+    def test_slow_doubles_the_victims_busy_time(self, relation):
+        cube = self._slow_run(relation, "thread")
+        busy = cube.metrics.rank_busy_seconds
+        assert busy[0] / busy[1] == pytest.approx(2.0, rel=0.05)
+        assert cube.metrics.audit["ok"]
+
+    def test_slow_is_deterministic(self, relation):
+        a = self._slow_run(relation, "thread").metrics.simulated_seconds
+        b = self._slow_run(relation, "thread").metrics.simulated_seconds
+        assert a == b
+
+    def test_slow_does_not_change_content(self, relation):
+        clean = build(relation, "thread", audit=True)
+        slow = self._slow_run(relation, "thread")
+        assert content_fingerprint(slow) == content_fingerprint(clean)
+
+    @requires_fork
+    def test_slow_metering_matches_across_backends(self, relation):
+        thread = self._slow_run(relation, "thread").metrics
+        proc = self._slow_run(relation, "process").metrics
+        assert proc.simulated_seconds == pytest.approx(
+            thread.simulated_seconds, rel=1e-9
+        )
+        assert proc.rank_busy_seconds == pytest.approx(
+            thread.rank_busy_seconds, rel=1e-9
+        )
+
+
+# ---------------------------------------------------------------------------
+# supervisor deadline boundary
+# ---------------------------------------------------------------------------
+
+
+class _FakeConn:
+    """Never delivers until ``deliver_on_poll`` polls have happened."""
+
+    def __init__(self, deliver_after=None):
+        self.polls = 0
+        self.deliver_after = deliver_after
+
+    def poll(self, timeout=0.0):
+        self.polls += 1
+        return (
+            self.deliver_after is not None
+            and self.polls > self.deliver_after
+        )
+
+    def recv(self):
+        return ("step", "payload")
+
+
+class _AliveProc:
+    @staticmethod
+    def is_alive():
+        return True
+
+
+class TestSupervisorDeadlineBoundary:
+    def _supervisor(self, ticks):
+        from repro.mpi.backends import Supervisor
+
+        it = iter(ticks)
+        return Supervisor(
+            {0: _AliveProc()},
+            heartbeat_interval=10.0,
+            suspect_after=60.0,
+            now=lambda: next(it),
+        )
+
+    def test_exactly_at_deadline_declares_hung(self):
+        # now() calls: deadline anchor (0), budget, deadline check (60.0:
+        # exactly at the deadline must already count as hung).
+        sup = self._supervisor([0.0, 50.0, 60.0])
+        with pytest.raises(RankHung) as err:
+            sup.await_message(_FakeConn(), 0)
+        assert err.value.rank == 0
+
+    def test_just_under_deadline_still_delivers(self):
+        # Third now() lands epsilon under the deadline -> one more poll
+        # round runs and the buffered message is delivered, not dropped.
+        sup = self._supervisor([0.0, 50.0, 60.0 - 1e-6, 59.0])
+        msg = sup.await_message(_FakeConn(deliver_after=1), 0)
+        assert msg == ("step", "payload")
+
+
+# ---------------------------------------------------------------------------
+# backoff jitter
+# ---------------------------------------------------------------------------
+
+
+class TestBackoffJitter:
+    def test_legacy_values_without_jitter(self):
+        pol = RecoveryPolicy(backoff_seconds=2.0, backoff_growth=3.0)
+        assert pol.backoff_for(0) == 0.0
+        assert pol.backoff_for(1) == 2.0
+        assert pol.backoff_for(2) == 6.0
+        assert pol.backoff_for(3) == 18.0
+
+    def test_jitter_bounded_and_seed_deterministic(self):
+        pol = RecoveryPolicy(
+            backoff_seconds=2.0, backoff_growth=3.0, backoff_jitter=True
+        )
+        for attempt in (1, 2, 3):
+            base = 2.0 * 3.0 ** (attempt - 1)
+            v = pol.backoff_for(attempt, seed=7)
+            assert 0.0 <= v <= base
+            assert v == pol.backoff_for(attempt, seed=7)
+
+    def test_jitter_varies_with_seed_and_attempt(self):
+        pol = RecoveryPolicy(backoff_seconds=10.0, backoff_jitter=True)
+        assert pol.backoff_for(1, seed=1) != pol.backoff_for(1, seed=2)
+        assert pol.backoff_for(1, seed=1) != pol.backoff_for(2, seed=1)
+
+
+# ---------------------------------------------------------------------------
+# hetero end-to-end + speculative races
+# ---------------------------------------------------------------------------
+
+
+class TestHeteroBuild:
+    def test_same_content_as_uniform(self, relation):
+        clean = build(relation, "thread", audit=True)
+        hetero = build(relation, "thread", hetero=True, audit=True)
+        assert content_fingerprint(hetero) == content_fingerprint(clean)
+        assert hetero.metrics.audit["ok"]
+        m = hetero.metrics.speed_model
+        assert m is not None
+        assert len(m["speeds"]) == 3
+        assert np.mean(m["speeds"]) == pytest.approx(1.0)
+        assert len(hetero.metrics.rank_busy_seconds) == 3
+
+    def test_uniform_build_publishes_no_model(self, relation):
+        assert build(relation, "thread").metrics.speed_model is None
+
+    @requires_fork
+    def test_process_backend_same_content(self, relation):
+        clean = build(relation, "thread", audit=True)
+        hetero = build(relation, "process", hetero=True, audit=True)
+        assert content_fingerprint(hetero) == content_fingerprint(clean)
+        assert hetero.metrics.speed_model is not None
+
+
+class TestSpeculativeRace:
+    def _race(self, relation, backend, faults, **kw):
+        with tempfile.TemporaryDirectory() as ck:
+            return build(
+                relation, backend, hetero=True,
+                faults=FaultPlan.parse(faults), checkpoint_dir=ck,
+                recovery=RecoveryPolicy(speculate=True), audit=True, **kw,
+            )
+
+    def test_recovered_straggler_discards_duplicate_once(self, relation):
+        clean = build(relation, "thread", audit=True)
+        cube = self._race(relation, "thread", "hang@r1s20a0")
+        m = cube.metrics
+        # The straggler recovered: the full-width retry wins the race,
+        # the width-(p-1) clone's duplicate result is discarded exactly
+        # once, and both raced attempts' costs are banked.
+        assert m.speculations == 1
+        assert m.speculation_discards == 1
+        assert m.attempts == 3
+        assert m.final_width == 3
+        assert m.ranks_lost == []
+        assert m.recovered_seconds > 0
+        assert m.audit["ok"]
+        assert content_fingerprint(cube) == content_fingerprint(clean)
+        assert "speculated 1 race(s)" in m.summary()
+
+    def test_backup_wins_when_straggler_hangs_again(self, relation):
+        clean = build(relation, "thread", audit=True)
+        cube = self._race(relation, "thread", "hang@r1s20a0;hang@r1s2a1")
+        m = cube.metrics
+        assert m.speculations == 1
+        assert m.speculation_discards == 0
+        assert m.attempts == 3
+        assert m.final_width == 2
+        assert m.ranks_lost == [1]
+        assert m.audit["ok"]
+        assert content_fingerprint(cube) == content_fingerprint(clean)
+
+    def test_no_checkpoints_means_no_race(self, relation):
+        # Without a checkpoint root there is nothing to clone: the hang
+        # falls back to a plain transient retry.
+        cube = build(
+            relation, "thread", hetero=True,
+            faults=FaultPlan.parse("hang@r1s20a0"),
+            recovery=RecoveryPolicy(speculate=True), audit=True,
+        )
+        m = cube.metrics
+        assert m.speculations == 0
+        assert m.attempts == 2
+        assert m.final_width == 3
+        assert m.audit["ok"]
+
+    @requires_fork
+    def test_race_on_process_backend(self, relation):
+        clean = build(relation, "thread", audit=True)
+        cube = self._race(relation, "process", "hang@r1s20a0")
+        m = cube.metrics
+        assert m.speculations == 1
+        assert m.speculation_discards == 1
+        assert m.final_width == 3
+        assert m.audit["ok"]
+        assert content_fingerprint(cube) == content_fingerprint(clean)
